@@ -1,0 +1,110 @@
+"""Shared, session-scoped experiment fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The underlying
+testbed experiments are expensive, so they are run once per session here and
+shared across benchmark modules:
+
+* ``eb_sweeps`` — the measured throughput / utilisation curves of Figure 4
+  (also consumed by the model-accuracy benchmarks of Figures 10 and 12),
+* ``timeseries_runs`` — the 100-EB runs whose per-second series appear in
+  Figures 5–8,
+* ``fitted_models`` — the models parameterised from monitoring data
+  (Figures 11 and 12).
+
+Experiment scale: the paper runs each experiment for 3 hours on real
+hardware; the simulated experiments below use a few hundred simulated seconds
+per configuration, which keeps the whole harness in the ~10 minute range
+while leaving the shapes of all results intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tpcw import (
+    BROWSING_MIX,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+    TestbedConfig,
+    TPCWTestbed,
+    build_model_from_testbed,
+    collect_monitoring_dataset,
+    run_eb_sweep,
+)
+
+EB_VALUES = [25, 50, 75, 100, 125, 150]
+SWEEP_DURATION = 400.0
+SWEEP_WARMUP = 40.0
+SWEEP_SEED = 7
+MODEL_THINK_TIME = 0.5
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text table used by the benchmarks to print paper-style results."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(headers)]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def eb_sweeps():
+    """Measured EB sweeps for the three mixes (Figure 4 / 10 / 12 input)."""
+    return {
+        mix.name: run_eb_sweep(
+            mix, EB_VALUES, duration=SWEEP_DURATION, warmup=SWEEP_WARMUP, seed=SWEEP_SEED
+        )
+        for mix in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX)
+    }
+
+
+@pytest.fixture(scope="session")
+def timeseries_runs():
+    """100-EB runs with per-second monitoring series (Figures 5-8)."""
+    runs = {}
+    for mix in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX):
+        config = TestbedConfig(
+            mix=mix, num_ebs=100, think_time=0.5, duration=300.0, warmup=30.0, seed=17
+        )
+        runs[mix.name] = TPCWTestbed(config).run()
+    return runs
+
+
+@pytest.fixture(scope="session")
+def estimation_datasets():
+    """Monitoring datasets used to parameterise the models (Z_estim = 0.5 s)."""
+    return {
+        mix.name: collect_monitoring_dataset(
+            mix, num_ebs=50, think_time=0.5, duration=800.0, warmup=60.0, seed=21
+        )
+        for mix in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX)
+    }
+
+
+@pytest.fixture(scope="session")
+def fitted_models(estimation_datasets):
+    """Burstiness-aware MultiTierModel per mix (Figure 12 input)."""
+    return {
+        name: build_model_from_testbed(dataset, model_think_time=MODEL_THINK_TIME)
+        for name, dataset in estimation_datasets.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def granularity_models():
+    """Browsing-mix models estimated at Z_estim = 0.5 s and 7 s (Figure 11)."""
+    models = {}
+    for z_estim, duration in ((0.5, 800.0), (7.0, 2500.0)):
+        dataset = collect_monitoring_dataset(
+            BROWSING_MIX, num_ebs=50, think_time=z_estim, duration=duration, warmup=60.0, seed=23
+        )
+        models[z_estim] = build_model_from_testbed(dataset, model_think_time=MODEL_THINK_TIME)
+    return models
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2008)

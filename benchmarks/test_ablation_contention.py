@@ -1,0 +1,80 @@
+"""Ablation: switch the database contention off.
+
+DESIGN.md attributes the browsing-mix modelling difficulty to the contention
+process at the database.  With contention disabled, the same browsing mix
+becomes a well-behaved front-bottleneck system: throughput rises, the
+database queue bursts disappear, and plain MVA becomes accurate again —
+confirming that the burstiness mechanism (and not some other artefact of the
+simulator) is what breaks the mean-value model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import MODEL_THINK_TIME, format_table
+from repro.queueing import mva_closed_network
+from repro.tpcw import BROWSING_MIX, ContentionConfig, TestbedConfig, TPCWTestbed
+from repro.tpcw.experiment import measurement_from_series
+
+POPULATION = 125
+
+
+def run_pair():
+    results = {}
+    for label, enabled in (("contention ON", True), ("contention OFF", False)):
+        config = TestbedConfig(
+            mix=BROWSING_MIX,
+            num_ebs=POPULATION,
+            think_time=MODEL_THINK_TIME,
+            duration=600.0,
+            warmup=60.0,
+            seed=7,
+            contention=ContentionConfig(enabled=enabled),
+        )
+        run = TPCWTestbed(config).run()
+        front_demand = measurement_from_series(run.front).mean_service_time
+        db_demand = measurement_from_series(run.database).mean_service_time
+        mva = mva_closed_network([front_demand, db_demand], MODEL_THINK_TIME, POPULATION)
+        predicted = mva.throughput_at(POPULATION)
+        results[label] = {
+            "throughput": run.throughput,
+            "mva": predicted,
+            "mva_error": abs(predicted - run.throughput) / run.throughput,
+            "db_queue_peak": float(run.database.queue_length.max()),
+            "switch_fraction": float(
+                np.mean(run.database.utilization > run.front.utilization + 0.15)
+            ),
+        }
+    return results
+
+
+def test_ablation_contention_off(benchmark):
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = [
+        (
+            label,
+            f"{values['throughput']:.1f}",
+            f"{values['mva']:.1f}",
+            f"{100 * values['mva_error']:.1f}%",
+            f"{values['db_queue_peak']:.0f}",
+            f"{100 * values['switch_fraction']:.1f}%",
+        )
+        for label, values in results.items()
+    ]
+    print()
+    print(f"Ablation — browsing mix at {POPULATION} EBs with and without DB contention")
+    print(
+        format_table(
+            ["configuration", "measured TPUT", "MVA TPUT", "MVA error", "DB queue peak", "time DB >> front"],
+            rows,
+        )
+    )
+    on, off = results["contention ON"], results["contention OFF"]
+    # Contention costs throughput and creates the queue bursts / switch.
+    assert off["throughput"] > on["throughput"]
+    assert on["db_queue_peak"] > 3 * off["db_queue_peak"]
+    assert on["switch_fraction"] > 0.1 > off["switch_fraction"]
+    # MVA is accurate without contention and inaccurate with it.
+    assert off["mva_error"] < 0.08
+    assert on["mva_error"] > 0.15

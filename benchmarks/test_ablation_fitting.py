@@ -1,0 +1,63 @@
+"""Ablation: what the pieces of the MAP(2) fitting procedure contribute.
+
+The paper's procedure keeps candidates within ±20 % of the measured index of
+dispersion and picks the one whose 95th percentile matches best.  This
+ablation compares, on a service process with known descriptors, the queueing
+predictions obtained with (a) the full procedure, (b) no p95 tie-break, and
+(c) a mean-only (exponential / MVA-equivalent) model — quantifying how much
+each ingredient matters for the closed-network throughput prediction.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import format_table
+from repro.core.map_fitting import fit_map2_from_measurements
+from repro.maps import map2_exponential, map2_from_moments_and_decay
+from repro.queueing import solve_map_closed_network
+
+POPULATION = 80
+THINK_TIME = 0.5
+FRONT = map2_exponential(0.004)
+
+
+def run_ablation():
+    true_db = map2_from_moments_and_decay(0.0035, 6.0, 0.995)
+    truth = solve_map_closed_network(FRONT, true_db, THINK_TIME, POPULATION).throughput
+    target_i = true_db.index_of_dispersion()
+    target_p95 = true_db.interarrival_percentile(0.95)
+
+    full_fit = fit_map2_from_measurements(0.0035, target_i, target_p95)
+    no_p95_fit = fit_map2_from_measurements(0.0035, target_i, p95=None)
+    mean_only = map2_exponential(0.0035)
+
+    variants = {
+        "true MAP(2) (reference)": true_db,
+        "fit: mean + I + p95 (paper)": full_fit.map,
+        "fit: mean + I only": no_p95_fit.map,
+        "mean only (exponential)": mean_only,
+    }
+    rows = []
+    errors = {}
+    for label, service in variants.items():
+        throughput = solve_map_closed_network(FRONT, service, THINK_TIME, POPULATION).throughput
+        error = abs(throughput - truth) / truth
+        errors[label] = error
+        rows.append((label, f"{service.index_of_dispersion():.1f}", f"{throughput:.1f}", f"{100 * error:.1f}%"))
+    return truth, rows, errors
+
+
+def test_ablation_fitting_ingredients(benchmark):
+    truth, rows, errors = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(f"Ablation — MAP(2) fitting ingredients (reference throughput {truth:.1f} tx/s)")
+    print(format_table(["service model", "I", "predicted TPUT", "error vs reference"], rows))
+
+    # The reference reproduces itself exactly.
+    assert errors["true MAP(2) (reference)"] < 1e-9
+    # The paper's fit tracks the reference closely...
+    assert errors["fit: mean + I + p95 (paper)"] < 0.15
+    # ...and is much closer than the mean-only (MVA-equivalent) model.
+    assert errors["mean only (exponential)"] > 2.0 * errors["fit: mean + I + p95 (paper)"]
+    # Dropping the p95 tie-break must not make things better than the full fit
+    # by more than noise (it usually makes them worse).
+    assert errors["fit: mean + I only"] >= errors["fit: mean + I + p95 (paper)"] - 0.05

@@ -1,0 +1,85 @@
+"""Figure 12: the burstiness-aware MAP model versus MVA versus measurements.
+
+This is the headline result of the paper: parameterising each server with
+(mean service time, index of dispersion, 95th percentile) and solving the
+closed MAP queueing network tracks the measured throughput closely for all
+three mixes — including the browsing mix with its bottleneck switch, where
+MVA fails — and reports the per-server indices of dispersion.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import EB_VALUES, format_table
+
+
+def model_errors(model, sweep):
+    measured = {point.num_ebs: point.throughput for point in sweep}
+    mva = model.mva_throughput(EB_VALUES)
+    map_based = model.predict_throughput(EB_VALUES)
+    rows = []
+    mva_errors, map_errors = [], []
+    for index, ebs in enumerate(EB_VALUES):
+        mva_error = abs(mva[index] - measured[ebs]) / measured[ebs]
+        map_error = abs(map_based[index] - measured[ebs]) / measured[ebs]
+        mva_errors.append(mva_error)
+        map_errors.append(map_error)
+        rows.append(
+            (
+                ebs,
+                f"{measured[ebs]:.1f}",
+                f"{mva[index]:.1f} ({100 * mva_error:.1f}%)",
+                f"{map_based[index]:.1f} ({100 * map_error:.1f}%)",
+            )
+        )
+    return rows, mva_errors, map_errors
+
+
+def test_fig12_map_model_accuracy(benchmark, eb_sweeps, fitted_models):
+    results = benchmark.pedantic(
+        lambda: {
+            name: model_errors(fitted_models[name], eb_sweeps[name]) for name in fitted_models
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    summary = {}
+    for mix_name in ("browsing", "shopping", "ordering"):
+        model = fitted_models[mix_name]
+        rows, mva_errors, map_errors = results[mix_name]
+        print(
+            f"Figure 12 — {mix_name} mix  "
+            f"(I_front={model.front.index_of_dispersion:.1f}, "
+            f"I_db={model.database.index_of_dispersion:.1f})"
+        )
+        print(format_table(["EBs", "measured", "MVA (error)", "MAP model (error)"], rows))
+        print()
+        summary[mix_name] = {
+            "max_mva_error": max(mva_errors),
+            "max_map_error": max(map_errors),
+            "mean_map_error": sum(map_errors) / len(map_errors),
+        }
+    print("summary:", {k: {m: f"{100 * v:.1f}%" for m, v in s.items()} for k, s in summary.items()})
+
+    browsing = summary["browsing"]
+    # The MAP model fixes the browsing mix: large MVA error, small MAP error.
+    assert browsing["max_mva_error"] > 0.15
+    assert browsing["mean_map_error"] < 0.12
+    assert browsing["max_map_error"] < 0.6 * browsing["max_mva_error"]
+    # The MAP model never does (meaningfully) worse than MVA on the other mixes.
+    for mix_name in ("shopping", "ordering"):
+        assert summary[mix_name]["mean_map_error"] < 0.12
+    # The browsing database has by far the largest index of dispersion, and
+    # every database is burstier than its front server (as in the paper's
+    # reported I values: 40/308, 2/286, 3/98).
+    dispersions = {
+        name: (model.front.index_of_dispersion, model.database.index_of_dispersion)
+        for name, model in fitted_models.items()
+    }
+    print("indices of dispersion (front, db):", dispersions)
+    assert dispersions["browsing"][1] > dispersions["ordering"][1]
+    for front_i, db_i in dispersions.values():
+        assert db_i > front_i
+    benchmark.extra_info["summary"] = {
+        k: {m: float(v) for m, v in s.items()} for k, s in summary.items()
+    }

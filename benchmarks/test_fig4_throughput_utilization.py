@@ -1,0 +1,67 @@
+"""Figure 4: throughput and per-server utilisation versus the number of EBs.
+
+The paper's observations to reproduce:
+
+* throughput flattens earliest for the browsing mix and latest for the
+  ordering mix, with plateau heights ordered browsing < shopping < ordering;
+* under the shopping and ordering mixes the front server approaches 100 %
+  utilisation while the database stays far below (front-server bottleneck);
+* under the browsing mix the front server grows slowly beyond saturation and
+  the two average utilisations end up close to each other (the ambiguity that
+  motivates the bottleneck-switch analysis).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import EB_VALUES, format_table
+
+
+def test_fig4_throughput_and_utilization(benchmark, eb_sweeps):
+    sweeps = benchmark.pedantic(lambda: eb_sweeps, rounds=1, iterations=1)
+    print()
+    for mix_name in ("browsing", "shopping", "ordering"):
+        rows = [
+            (
+                point.num_ebs,
+                f"{point.throughput:.1f}",
+                f"{100 * point.front_utilization:.1f}%",
+                f"{100 * point.db_utilization:.1f}%",
+            )
+            for point in sweeps[mix_name]
+        ]
+        print(f"Figure 4 — {mix_name} mix")
+        print(format_table(["EBs", "TPUT (tx/s)", "front CPU", "DB CPU"], rows))
+        print()
+
+    plateau = {name: sweeps[name][-1].throughput for name in sweeps}
+    # Plateau ordering: browsing < shopping < ordering.
+    assert plateau["browsing"] < plateau["shopping"] < plateau["ordering"]
+
+    # Front-server bottleneck for shopping and ordering at high load.
+    for name in ("shopping", "ordering"):
+        final = sweeps[name][-1]
+        assert final.front_utilization > 0.9
+        assert final.db_utilization < 0.7 * final.front_utilization
+
+    # Browsing: average utilisations end up comparable (within 15 points) and
+    # the front server never reaches full saturation.
+    browsing_final = sweeps["browsing"][-1]
+    assert abs(browsing_final.front_utilization - browsing_final.db_utilization) < 0.15
+    assert browsing_final.front_utilization < 0.95
+
+    # Browsing saturates earliest: its relative throughput gain from 100 to
+    # 150 EBs is the smallest among the mixes at that point.
+    def relative_gain(points):
+        x100 = next(p.throughput for p in points if p.num_ebs == 100)
+        x150 = next(p.throughput for p in points if p.num_ebs == 150)
+        return (x150 - x100) / x100
+
+    assert relative_gain(sweeps["browsing"]) < relative_gain(sweeps["ordering"])
+
+    # Low load: all mixes deliver roughly N / Z transactions per second.
+    for name in sweeps:
+        x25 = next(p.throughput for p in sweeps[name] if p.num_ebs == 25)
+        assert abs(x25 - 25 / 0.5) / (25 / 0.5) < 0.1
+
+    benchmark.extra_info["plateau_throughput"] = plateau
+    assert set(EB_VALUES) == {p.num_ebs for p in sweeps["browsing"]}

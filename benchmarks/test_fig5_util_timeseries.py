@@ -1,0 +1,63 @@
+"""Figure 5: per-second CPU utilisation of the two servers across time.
+
+The paper shows 300 s of 1-second `sar` samples for the three mixes at
+100 EBs: under the browsing mix there are periods where the database
+utilisation rises well above the front-server utilisation (the bottleneck
+switch); under the shopping and ordering mixes the front server dominates at
+all times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import format_table
+
+
+def switch_fraction(run, margin=0.15):
+    """Fraction of seconds where the DB is utilised ``margin`` above the front."""
+    front = run.front.utilization
+    database = run.database.utilization
+    return float(np.mean(database > front + margin))
+
+
+def test_fig5_utilization_timeseries(benchmark, timeseries_runs):
+    runs = benchmark.pedantic(lambda: timeseries_runs, rounds=1, iterations=1)
+    rows = []
+    for mix_name in ("browsing", "shopping", "ordering"):
+        run = runs[mix_name]
+        rows.append(
+            (
+                mix_name,
+                f"{100 * run.front.mean_utilization:.1f}%",
+                f"{100 * run.database.mean_utilization:.1f}%",
+                f"{100 * run.database.utilization.max():.1f}%",
+                f"{100 * switch_fraction(run):.1f}%",
+                len(run.contention_episodes),
+            )
+        )
+    print()
+    print("Figure 5 — 1-second utilisation series at 100 EBs (300 s window)")
+    print(
+        format_table(
+            ["mix", "front mean", "DB mean", "DB peak", "time DB >> front", "episodes"],
+            rows,
+        )
+    )
+    # Example excerpt of the browsing series around the first contention episode.
+    browsing = runs["browsing"]
+    if browsing.contention_episodes:
+        start = int(max(0, browsing.contention_episodes[0][0] - 5))
+        excerpt = slice(start, start + 20)
+        print()
+        print("browsing mix, excerpt around the first contention episode (1 s samples):")
+        print("front:", np.round(browsing.front.utilization[excerpt], 2))
+        print("db:   ", np.round(browsing.database.utilization[excerpt], 2))
+
+    # Shape checks: a clear switch for browsing, (almost) none for the others.
+    assert switch_fraction(runs["browsing"]) > 0.10
+    assert switch_fraction(runs["shopping"]) < 0.10
+    assert switch_fraction(runs["ordering"]) < 0.02
+    assert switch_fraction(runs["browsing"]) > 3 * switch_fraction(runs["shopping"])
+    # The database peaks at (or near) saturation during browsing episodes.
+    assert runs["browsing"].database.utilization.max() > 0.95

@@ -1,0 +1,59 @@
+"""Figure 6: database queue length versus database utilisation across time.
+
+Paper observation: under the browsing mix the database queue alternates
+between near-empty periods and bursts of up to ~90 queued requests (out of
+100 EBs), and these bursts coincide with the periods of peak database
+utilisation; under the shopping and ordering mixes the queue stays small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import format_table
+
+
+def burst_alignment(run, queue_threshold=20.0, utilization_threshold=0.9):
+    """Fraction of high-queue seconds whose DB utilisation is (near) saturated."""
+    queue = run.database.queue_length
+    utilization = run.database.utilization
+    high_queue = queue > queue_threshold
+    if not np.any(high_queue):
+        return float("nan")
+    return float(np.mean(utilization[high_queue] > utilization_threshold))
+
+
+def test_fig6_database_queue_bursts(benchmark, timeseries_runs):
+    runs = benchmark.pedantic(lambda: timeseries_runs, rounds=1, iterations=1)
+    rows = []
+    for mix_name in ("browsing", "shopping", "ordering"):
+        run = runs[mix_name]
+        queue = run.database.queue_length
+        rows.append(
+            (
+                mix_name,
+                f"{queue.mean():.1f}",
+                f"{np.quantile(queue, 0.5):.1f}",
+                f"{queue.max():.1f}",
+                f"{100 * float(np.mean(queue > 20.0)):.1f}%",
+                f"{burst_alignment(run):.2f}" if not np.isnan(burst_alignment(run)) else "n/a",
+            )
+        )
+    print()
+    print("Figure 6 — database queue length at 100 EBs (1 s averages, 300 s window)")
+    print(
+        format_table(
+            ["mix", "mean queue", "median", "peak", "time queue>20", "P(DB sat | queue>20)"],
+            rows,
+        )
+    )
+
+    browsing_queue = runs["browsing"].database.queue_length
+    # Bursts: near-empty median but peaks of the order of the EB population.
+    assert np.quantile(browsing_queue, 0.5) < 10.0
+    assert browsing_queue.max() > 40.0
+    # Queue bursts coincide with database saturation.
+    assert burst_alignment(runs["browsing"]) > 0.8
+    # The other mixes never build comparable backlogs.
+    assert runs["shopping"].database.queue_length.max() < 0.5 * browsing_queue.max()
+    assert runs["ordering"].database.queue_length.max() < 10.0

@@ -1,0 +1,64 @@
+"""Figure 7: Best Seller in-system requests versus the overall DB queue.
+
+Paper observation: although Best Seller requests are only 11 % of the
+browsing mix, the spikes of the database queue are dominated by this
+transaction type — their in-system count tracks the overall queue during the
+bursts.  Under the shopping and ordering mixes no such behaviour exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import format_table
+
+
+def test_fig7_best_seller_dominates_bursts(benchmark, timeseries_runs):
+    runs = benchmark.pedantic(lambda: timeseries_runs, rounds=1, iterations=1)
+    rows = []
+    share_during_bursts = {}
+    for mix_name in ("browsing", "shopping", "ordering"):
+        run = runs[mix_name]
+        queue = run.database.queue_length
+        best_sellers = run.tracked_in_system["Best Sellers"]
+        length = min(len(queue), len(best_sellers))
+        queue, best_sellers = queue[:length], best_sellers[:length]
+        bursts = queue > 20.0
+        if np.any(bursts):
+            share = float(np.mean(best_sellers[bursts] / np.maximum(queue[bursts], 1e-9)))
+        else:
+            share = float("nan")
+        share_during_bursts[mix_name] = share
+        correlation = (
+            float(np.corrcoef(queue, best_sellers)[0, 1]) if queue.std() > 0 and best_sellers.std() > 0 else 0.0
+        )
+        rows.append(
+            (
+                mix_name,
+                f"{run.config.mix.probability('Best Sellers') * 100:.0f}%",
+                f"{best_sellers.mean():.1f}",
+                f"{best_sellers.max():.1f}",
+                "n/a" if np.isnan(share) else f"{100 * share:.0f}%",
+                f"{correlation:.2f}",
+            )
+        )
+    print()
+    print("Figure 7 — Best Seller requests in system vs overall DB queue (100 EBs)")
+    print(
+        format_table(
+            ["mix", "mix share", "mean in-system", "peak in-system", "share of queue bursts", "corr(queue, BS)"],
+            rows,
+        )
+    )
+
+    browsing = runs["browsing"]
+    queue = browsing.database.queue_length
+    best_sellers = browsing.tracked_in_system["Best Sellers"][: len(queue)]
+    # Best Sellers dominate the queue during bursts despite being ~11% of the mix.
+    assert share_during_bursts["browsing"] > 0.4
+    # Their in-system count is strongly correlated with the overall queue.
+    assert np.corrcoef(queue, best_sellers)[0, 1] > 0.7
+    # Peaks far above what their mix share alone would explain.
+    assert best_sellers.max() > 0.3 * queue.max()
+    # Nothing comparable for the ordering mix.
+    assert runs["ordering"].tracked_in_system["Best Sellers"].max() < 5.0

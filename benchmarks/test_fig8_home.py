@@ -1,0 +1,53 @@
+"""Figure 8: Home-transaction in-system requests across time.
+
+Paper observation: the Home transaction (29 % of the browsing mix) also
+contributes to the extreme spikes of the database queue — during the largest
+bursts its in-system count rises together with the Best Seller count — while
+under the shopping and ordering mixes it stays low at all times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import format_table
+
+
+def test_fig8_home_transaction_contribution(benchmark, timeseries_runs):
+    runs = benchmark.pedantic(lambda: timeseries_runs, rounds=1, iterations=1)
+    rows = []
+    for mix_name in ("browsing", "shopping", "ordering"):
+        run = runs[mix_name]
+        home = run.tracked_in_system["Home"]
+        queue = run.database.queue_length[: len(home)]
+        bursts = queue > 20.0
+        home_during_bursts = float(home[bursts].mean()) if np.any(bursts) else float("nan")
+        rows.append(
+            (
+                mix_name,
+                f"{run.config.mix.probability('Home') * 100:.0f}%",
+                f"{home.mean():.1f}",
+                f"{home.max():.1f}",
+                "n/a" if np.isnan(home_during_bursts) else f"{home_during_bursts:.1f}",
+            )
+        )
+    print()
+    print("Figure 8 — Home requests in system (100 EBs, 300 s window)")
+    print(
+        format_table(
+            ["mix", "mix share", "mean in-system", "peak in-system", "mean during DB bursts"],
+            rows,
+        )
+    )
+
+    browsing = runs["browsing"]
+    home = browsing.tracked_in_system["Home"]
+    queue = browsing.database.queue_length[: len(home)]
+    bursts = queue > 20.0
+    assert np.any(bursts)
+    # During browsing-mix bursts the Home population is clearly elevated
+    # compared to quiet periods.
+    assert home[bursts].mean() > 2.0 * max(home[~bursts].mean(), 0.5)
+    # Home peaks stay modest under the other mixes.
+    assert runs["shopping"].tracked_in_system["Home"].max() < home.max()
+    assert runs["ordering"].tracked_in_system["Home"].max() < 10.0

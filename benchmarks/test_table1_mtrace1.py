@@ -1,0 +1,78 @@
+"""Table 1: response times of the M/Trace/1 queue for the Figure-1 traces.
+
+The paper feeds each of the four traces to a single FCFS server with Poisson
+arrivals at 50 % and 80 % utilisation and reports the mean and the 95th
+percentile of the response time, showing monotone (and dramatic) degradation
+with the index of dispersion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import format_table
+from repro.simulation import simulate_mtrace1
+from repro.traces import figure1_traces
+
+PAPER_ROWS = {
+    # label: (mean@0.5, p95@0.5, mean@0.8, p95@0.8, I)
+    "a": (3.02, 14.42, 8.70, 33.26, 3.0),
+    "b": (11.00, 83.35, 43.35, 211.76, 22.3),
+    "c": (26.69, 252.18, 72.31, 485.42, 92.6),
+    "d": (120.49, 1132.40, 150.32, 1346.53, 488.7),
+}
+
+
+def run_table1():
+    traces = figure1_traces(size=20_000, rng=np.random.default_rng(42))
+    results = {}
+    for label, trace in traces.items():
+        low = simulate_mtrace1(trace.samples, 0.5, rng=np.random.default_rng(1))
+        high = simulate_mtrace1(trace.samples, 0.8, rng=np.random.default_rng(2))
+        results[label] = (
+            low.mean_response_time,
+            low.response_time_percentile(0.95),
+            high.mean_response_time,
+            high.response_time_percentile(0.95),
+            trace.index_of_dispersion,
+        )
+    return results
+
+
+def test_table1_mtrace1_response_times(benchmark):
+    results = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    rows = []
+    for label in ("a", "b", "c", "d"):
+        measured = results[label]
+        paper = PAPER_ROWS[label]
+        rows.append(
+            (
+                f"Fig.1({label})",
+                f"{measured[0]:.2f}",
+                f"{measured[1]:.2f}",
+                f"{measured[2]:.2f}",
+                f"{measured[3]:.2f}",
+                f"{measured[4]:.1f}",
+                f"{paper[0]:.2f}/{paper[2]:.2f}",
+            )
+        )
+    print()
+    print("Table 1 — M/Trace/1 response times (measured vs paper means)")
+    print(
+        format_table(
+            ["workload", "mean@0.5", "p95@0.5", "mean@0.8", "p95@0.8", "I", "paper mean@0.5/0.8"],
+            rows,
+        )
+    )
+
+    # Shape checks: every column increases monotonically with the trace's
+    # burstiness, and the most bursty trace is at least an order of magnitude
+    # slower than the random-order trace (the paper reports ~40x).
+    for column in range(4):
+        values = [results[label][column] for label in ("a", "b", "c", "d")]
+        assert all(x < y for x, y in zip(values, values[1:]))
+    assert results["d"][0] > 20 * results["a"][0]
+    assert results["d"][1] > 20 * results["a"][1]
+    # At higher utilisation everything is slower.
+    for label in ("a", "b", "c", "d"):
+        assert results[label][2] > results[label][0]

@@ -1,0 +1,60 @@
+"""Tables 2, 3 and 4: testbed configuration, transaction catalogue, think times.
+
+These tables are configuration summaries rather than measurements; the
+benchmark regenerates them from the simulator's own configuration objects so
+that any drift between the documentation and the code is caught.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import format_table
+from repro.tpcw import STANDARD_MIXES, TRANSACTION_CATALOG, TestbedConfig, BROWSING_MIX
+from repro.tpcw.transactions import TransactionClass, browsing_transactions, ordering_transactions
+
+
+def build_tables():
+    table2 = [
+        ("Clients (Emulated Browsers)", "closed-loop generator, exponential think time"),
+        ("Front Server", "processor-sharing CPU (Apache/Tomcat analogue)"),
+        ("Database Server", "processor-sharing CPU with contention episodes (MySQL analogue)"),
+        ("Monitoring", "1 s utilisation windows (`sar`), 5 s completion windows (Diagnostics)"),
+    ]
+    table3 = [
+        (name, TRANSACTION_CATALOG[name].transaction_class.value)
+        for name in TRANSACTION_CATALOG
+    ]
+    table4 = [
+        ("Model-Z0.5", "Z_qn = 0.5 s", "Z_estim = 0.5 s"),
+        ("Model-Z7", "Z_qn = 0.5 s", "Z_estim = 7 s"),
+    ]
+    return table2, table3, table4
+
+
+def test_tables_2_3_4_configuration(benchmark):
+    table2, table3, table4 = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    print()
+    print("Table 2 — simulated testbed components")
+    print(format_table(["component", "simulated as"], table2))
+    print()
+    print("Table 3 — the 14 TPC-W transactions and their classes")
+    print(format_table(["transaction", "class"], table3))
+    print()
+    print("Table 4 — think-time configurations used for model estimation")
+    print(format_table(["model", "queueing network", "MAP(2) estimation"], table4))
+
+    # Table 3 shape: 14 transactions, 6 browsing and 8 ordering.
+    assert len(table3) == 14
+    assert len(browsing_transactions()) == 6
+    assert len(ordering_transactions()) == 8
+    # The three standard mixes exist with the documented class fractions.
+    assert set(STANDARD_MIXES) == {"browsing", "shopping", "ordering"}
+    fractions = {name: mix.browsing_fraction() for name, mix in STANDARD_MIXES.items()}
+    assert abs(fractions["browsing"] - 0.95) < 0.01
+    assert abs(fractions["shopping"] - 0.80) < 0.01
+    assert abs(fractions["ordering"] - 0.50) < 0.01
+    # Default experiment configuration mirrors Table 2/4 defaults.
+    config = TestbedConfig(mix=BROWSING_MIX, num_ebs=100)
+    assert config.think_time == 0.5
+    assert config.utilization_window == 1.0
+    assert config.completion_window == 5.0
+    assert TRANSACTION_CATALOG["Home"].transaction_class is TransactionClass.BROWSING

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Detecting burstiness symptoms and bottleneck switch from monitoring data.
+
+Section 3 of the paper diagnoses the browsing mix by looking at coarse
+monitoring data only: per-second utilisations of the two servers, the
+database queue length, and the per-transaction-type population in the
+system.  This example reproduces that diagnosis on the simulated testbed and
+prints a short report for each transaction mix:
+
+* how often the database utilisation exceeds the front-server utilisation
+  (the bottleneck-switch symptom of Figure 5),
+* how bursty the database queue is (Figure 6),
+* which transaction types dominate the bursts (Figures 7 and 8),
+* the per-server index of dispersion estimated with the Figure-2 algorithm.
+
+Run with:  python examples/bottleneck_switch_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build_server_model
+from repro.tpcw import STANDARD_MIXES, TestbedConfig, TPCWTestbed
+from repro.tpcw.experiment import measurement_from_series
+
+
+def analyse_mix(mix_name: str) -> None:
+    mix = STANDARD_MIXES[mix_name]
+    config = TestbedConfig(
+        mix=mix, num_ebs=100, think_time=0.5, duration=600.0, warmup=60.0, seed=17
+    )
+    run = TPCWTestbed(config).run()
+
+    front_util = run.front.utilization
+    db_util = run.database.utilization
+    queue = run.database.queue_length
+    switch_fraction = float(np.mean(db_util > front_util + 0.15))
+
+    print(f"--- {mix_name} mix (100 EBs, {config.duration:.0f} s measured) ---")
+    print(f"throughput                         : {run.throughput:.1f} tx/s")
+    print(f"average utilisation (front / db)   : "
+          f"{100 * front_util.mean():.1f} % / {100 * db_util.mean():.1f} %")
+    print(f"time with db >> front (switch)     : {100 * switch_fraction:.1f} % of seconds")
+    print(f"database queue (median / peak)     : "
+          f"{np.median(queue):.1f} / {queue.max():.0f} requests")
+    bursts = queue > 20
+    if np.any(bursts):
+        best_sellers = run.tracked_in_system["Best Sellers"][: len(queue)]
+        home = run.tracked_in_system["Home"][: len(queue)]
+        print(
+            "during queue bursts                : "
+            f"{best_sellers[bursts].mean():.1f} Best Sellers and "
+            f"{home[bursts].mean():.1f} Home requests in system on average"
+        )
+    for series in (run.front, run.database):
+        model = build_server_model(measurement_from_series(series))
+        print(
+            f"index of dispersion ({series.name:>8})   : {model.index_of_dispersion:8.1f}   "
+            f"(mean service time {1000 * model.mean_service_time:.2f} ms)"
+        )
+    verdict = "BOTTLENECK SWITCH" if switch_fraction > 0.10 else "stable front-server bottleneck"
+    print(f"verdict                            : {verdict}\n")
+
+
+def main() -> None:
+    for mix_name in ("browsing", "shopping", "ordering"):
+        analyse_mix(mix_name)
+    print(
+        "Only the browsing mix shows the combination the paper warns about: a large\n"
+        "database index of dispersion together with a significant fraction of time in\n"
+        "which the database is the busier server.  That is precisely the regime where\n"
+        "mean-value models break and the index-of-dispersion parameterisation is needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

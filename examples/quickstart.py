@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: from coarse monitoring data to a burstiness-aware model.
+
+This script walks through the whole methodology of the paper on a small
+simulated experiment:
+
+1. run the simulated TPC-W testbed (browsing mix, 50 emulated browsers) and
+   collect only the coarse data a production monitor would give you —
+   per-window CPU utilisation and completed-request counts;
+2. estimate, per server, the mean service time, the index of dispersion I
+   (Figure 2 of the paper) and the 95th percentile of service times;
+3. fit a MAP(2) per server and assemble the closed MAP queueing network of
+   Figure 9;
+4. predict throughput for larger populations and compare against the MVA
+   baseline parameterised with mean demands only.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.tpcw import BROWSING_MIX, build_model_from_testbed, collect_monitoring_dataset
+
+
+def main() -> None:
+    print("=== 1. collect coarse monitoring data from the (simulated) testbed ===")
+    dataset = collect_monitoring_dataset(
+        BROWSING_MIX,
+        num_ebs=50,
+        think_time=0.5,   # Z_estim: think time during the measurement run
+        duration=600.0,   # ten simulated minutes
+        warmup=60.0,
+        seed=0,
+    )
+    print(f"measured throughput        : {dataset.throughput:.1f} transactions/s")
+    print(f"front server utilisation   : {100 * dataset.front_utilization:.1f} %")
+    print(f"database utilisation       : {100 * dataset.db_utilization:.1f} %")
+    print(f"monitoring windows         : {dataset.front.completions.size} x "
+          f"{dataset.front.completion_window:.0f} s")
+
+    print("\n=== 2-3. estimate (mean, I, p95) per server and fit the MAP(2)s ===")
+    model = build_model_from_testbed(dataset, model_think_time=0.5)
+    for server in (model.front, model.database):
+        print(
+            f"{server.name:>9}: mean service time {1000 * server.mean_service_time:.2f} ms, "
+            f"index of dispersion {server.index_of_dispersion:.1f}, "
+            f"p95 {1000 * server.p95_service_time:.2f} ms "
+            f"-> fitted MAP(2) with I = {server.fitted.achieved_dispersion:.1f}"
+        )
+
+    print("\n=== 4. capacity planning: what happens with more emulated browsers? ===")
+    print(f"{'EBs':>5}  {'MAP model':>10}  {'MVA baseline':>12}")
+    for population in (25, 50, 75, 100, 125):
+        map_prediction = model.predict(population)
+        mva_prediction = model.mva_baseline(population).throughput_at(population)
+        print(
+            f"{population:>5}  {map_prediction.throughput:>10.1f}  {mva_prediction:>12.1f}"
+            f"   (front util {100 * map_prediction.front_utilization:.0f} %, "
+            f"db util {100 * map_prediction.db_utilization:.0f} %)"
+        )
+    print(
+        "\nThe MAP model saturates earlier than the MVA baseline: it accounts for the\n"
+        "database's bursty service periods, which periodically turn the database into\n"
+        "the bottleneck even though its *average* utilisation looks harmless."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Section 2 of the paper: why burstiness matters (Figure 1 + Table 1).
+
+The script generates four service-time traces with *identical* marginal
+distributions (hyper-exponential, mean 1, SCV 3) but increasingly aggregated
+bursts, characterises them with the index of dispersion, and then feeds each
+trace to a single FCFS server (Poisson arrivals, 50 % and 80 % utilisation)
+to show how dramatically the same distribution can behave once its samples
+are correlated in time.
+
+Run with:  python examples/trace_characterization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation import simulate_mtrace1
+from repro.traces import figure1_traces
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    traces = figure1_traces(size=20_000, mean=1.0, scv=3.0, rng=rng)
+
+    print("=== Figure 1: same marginal distribution, four burstiness profiles ===")
+    print(f"{'trace':>8} {'mean':>7} {'SCV':>6} {'p95':>7} {'index of dispersion':>21}")
+    for label in ("a", "b", "c", "d"):
+        trace = traces[label]
+        print(
+            f"Fig.1({label}) {trace.mean:>7.3f} {trace.scv:>6.2f} "
+            f"{trace.percentile(0.95):>7.2f} {trace.index_of_dispersion:>21.1f}"
+        )
+
+    print("\n=== Table 1: response times of the M/Trace/1 queue ===")
+    print(f"{'trace':>8} {'mean @ rho=0.5':>15} {'p95 @ rho=0.5':>14} "
+          f"{'mean @ rho=0.8':>15} {'p95 @ rho=0.8':>14}")
+    for label in ("a", "b", "c", "d"):
+        trace = traces[label]
+        low = simulate_mtrace1(trace.samples, 0.5, rng=np.random.default_rng(1))
+        high = simulate_mtrace1(trace.samples, 0.8, rng=np.random.default_rng(2))
+        print(
+            f"Fig.1({label}) {low.mean_response_time:>15.2f} "
+            f"{low.response_time_percentile(0.95):>14.2f} "
+            f"{high.mean_response_time:>15.2f} "
+            f"{high.response_time_percentile(0.95):>14.2f}"
+        )
+
+    print(
+        "\nAll four traces have the same mean, SCV and percentiles, yet the response\n"
+        "times differ by more than an order of magnitude: the index of dispersion is\n"
+        "the single number that separates them, which is why the paper carries it\n"
+        "(together with the mean and the 95th percentile) into its queueing models."
+    )
+
+
+if __name__ == "__main__":
+    main()

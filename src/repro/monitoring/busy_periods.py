@@ -1,0 +1,82 @@
+"""Busy-period extraction from utilisation series.
+
+The Figure-2 estimator works directly on per-window busy times
+``B_k = U_k * T``; for diagnostic purposes it is often useful to look at the
+*maximal busy periods* instead — maximal runs of consecutive windows whose
+utilisation exceeds a threshold — e.g. to visualise how long the congestion
+episodes caused by bursty service are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BusyPeriod", "busy_periods_from_utilization"]
+
+
+@dataclass(frozen=True)
+class BusyPeriod:
+    """A maximal run of busy monitoring windows."""
+
+    start_index: int
+    end_index: int  # inclusive
+    busy_time: float
+    completions: float
+
+    @property
+    def num_windows(self) -> int:
+        """Number of consecutive windows in the busy period."""
+        return self.end_index - self.start_index + 1
+
+
+def busy_periods_from_utilization(
+    utilizations,
+    period: float,
+    completions=None,
+    threshold: float = 0.0,
+) -> list[BusyPeriod]:
+    """Extract maximal busy periods from a utilisation series.
+
+    Parameters
+    ----------
+    utilizations:
+        Per-window utilisation samples in ``[0, 1]``.
+    period:
+        Window length in seconds.
+    completions:
+        Optional per-window completion counts accumulated into each busy
+        period (zeros when omitted).
+    threshold:
+        A window is busy when its utilisation is strictly greater than this
+        value.
+    """
+    utilizations = np.asarray(utilizations, dtype=float).reshape(-1)
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if completions is None:
+        completions = np.zeros_like(utilizations)
+    else:
+        completions = np.asarray(completions, dtype=float).reshape(-1)
+        if completions.shape != utilizations.shape:
+            raise ValueError("completions must have the same length as utilizations")
+    periods: list[BusyPeriod] = []
+    start = None
+    busy_time = 0.0
+    completed = 0.0
+    for index, utilization in enumerate(utilizations):
+        if utilization > threshold:
+            if start is None:
+                start = index
+                busy_time = 0.0
+                completed = 0.0
+            busy_time += utilization * period
+            completed += completions[index]
+        else:
+            if start is not None:
+                periods.append(BusyPeriod(start, index - 1, busy_time, completed))
+                start = None
+    if start is not None:
+        periods.append(BusyPeriod(start, len(utilizations) - 1, busy_time, completed))
+    return periods

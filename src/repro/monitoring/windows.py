@@ -1,0 +1,101 @@
+"""Windowed accumulators.
+
+Monitoring tools report per-window aggregates: the number of completed
+requests in each 5-second Diagnostics window, the busy fraction of each
+1-second `sar` window, the average queue length over a window, and so on.
+The two accumulators below convert a stream of point events / piecewise
+constant signals into such fixed-window series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CountWindows", "TimeWeightedWindows"]
+
+
+class CountWindows:
+    """Counts point events per fixed-length window.
+
+    Windows are ``[k*W, (k+1)*W)`` for ``k = 0, 1, ...``; the horizon may be
+    extended lazily as events arrive.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._counts: list[float] = []
+
+    def record(self, time: float, amount: float = 1.0) -> None:
+        """Record ``amount`` events at the given absolute time."""
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        index = int(time // self.window)
+        if index >= len(self._counts):
+            self._counts.extend([0.0] * (index + 1 - len(self._counts)))
+        self._counts[index] += amount
+
+    def series(self, horizon: float | None = None) -> np.ndarray:
+        """Return the per-window counts, padded with zeros up to ``horizon``."""
+        counts = list(self._counts)
+        if horizon is not None:
+            needed = int(np.ceil(horizon / self.window))
+            if needed > len(counts):
+                counts.extend([0.0] * (needed - len(counts)))
+            else:
+                counts = counts[:needed]
+        return np.asarray(counts, dtype=float)
+
+
+class TimeWeightedWindows:
+    """Integrates a piecewise-constant signal over fixed-length windows.
+
+    Typical uses: busy time per window (value 1 while the server is busy,
+    0 otherwise — dividing by the window length yields the utilisation) and
+    queue-length integrals (value = current queue length — dividing by the
+    window length yields the average queue length).
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._integrals: list[float] = []
+
+    def record(self, start: float, end: float, value: float) -> None:
+        """Add ``value`` integrated over the interval ``[start, end)``."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        if value == 0.0 or end == start:
+            return
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        first = int(start // self.window)
+        last = int(end // self.window)
+        if last >= len(self._integrals):
+            self._integrals.extend([0.0] * (last + 1 - len(self._integrals)))
+        if first == last:
+            self._integrals[first] += value * (end - start)
+            return
+        # First partial window.
+        self._integrals[first] += value * ((first + 1) * self.window - start)
+        # Full windows in between.
+        for index in range(first + 1, last):
+            self._integrals[index] += value * self.window
+        # Last partial window.
+        self._integrals[last] += value * (end - last * self.window)
+
+    def series(self, horizon: float | None = None, normalize: bool = True) -> np.ndarray:
+        """Per-window integrals, optionally divided by the window length."""
+        integrals = list(self._integrals)
+        if horizon is not None:
+            needed = int(np.ceil(horizon / self.window))
+            if needed > len(integrals):
+                integrals.extend([0.0] * (needed - len(integrals)))
+            else:
+                integrals = integrals[:needed]
+        series = np.asarray(integrals, dtype=float)
+        if normalize:
+            series = series / self.window
+        return series

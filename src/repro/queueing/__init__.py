@@ -1,0 +1,44 @@
+"""Analytical queueing solvers.
+
+* :mod:`~repro.queueing.mva` — exact Mean Value Analysis for single-class
+  closed queueing networks with a think-time (delay) station: the *baseline*
+  capacity-planning model the paper argues against for bursty workloads.
+* :mod:`~repro.queueing.map_network` — exact solution (via the underlying
+  CTMC) of the closed MAP queueing network of Figure 9: think-time delay
+  station plus two processor-sharing servers whose service processes are
+  MAPs.  This is the model the paper's methodology parameterises.
+* :mod:`~repro.queueing.ctmc` — sparse continuous-time Markov chain
+  utilities shared by the solvers.
+* :mod:`~repro.queueing.mg1` — classical single-station references
+  (M/M/1, M/G/1, heavy-traffic G/G/1 with an index of dispersion).
+* :mod:`~repro.queueing.bounds` — asymptotic bounds for closed networks.
+"""
+
+from repro.queueing.mva import MVAResult, mva_closed_network
+from repro.queueing.ctmc import steady_state_distribution, SparseGeneratorBuilder
+from repro.queueing.map_network import (
+    MapNetworkResult,
+    solve_map_closed_network,
+    MapClosedNetworkSolver,
+)
+from repro.queueing.mg1 import (
+    mm1_metrics,
+    mg1_mean_response_time,
+    heavy_traffic_mean_waiting_time,
+)
+from repro.queueing.bounds import asymptotic_throughput_bounds, balanced_job_bounds
+
+__all__ = [
+    "MVAResult",
+    "mva_closed_network",
+    "steady_state_distribution",
+    "SparseGeneratorBuilder",
+    "MapNetworkResult",
+    "solve_map_closed_network",
+    "MapClosedNetworkSolver",
+    "mm1_metrics",
+    "mg1_mean_response_time",
+    "heavy_traffic_mean_waiting_time",
+    "asymptotic_throughput_bounds",
+    "balanced_job_bounds",
+]

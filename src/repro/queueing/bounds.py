@@ -1,0 +1,80 @@
+"""Asymptotic and balanced-job bounds for closed queueing networks.
+
+Bounds are the light-weight companions of exact solvers: they are used in the
+paper's discussion (Section 4.2) to argue about heavy-load behaviour when the
+exact model becomes too large to solve, and they provide cheap cross-checks
+for the exact solvers in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ThroughputBounds", "asymptotic_throughput_bounds", "balanced_job_bounds"]
+
+
+@dataclass(frozen=True)
+class ThroughputBounds:
+    """Lower and upper bounds on the closed-network throughput."""
+
+    lower: float
+    upper: float
+
+    def contains(self, value: float, slack: float = 1e-9) -> bool:
+        """Whether ``value`` lies within the bounds (with numerical slack)."""
+        return self.lower - slack <= value <= self.upper + slack
+
+
+def asymptotic_throughput_bounds(
+    demands, think_time: float, population: int
+) -> ThroughputBounds:
+    """Classical asymptotic bounds for a closed network with a delay station.
+
+    ``X(N) <= min(1 / D_max, N / (D_total + Z))`` and
+    ``X(N) >= N / (N * D_total + Z)`` (the pessimistic single-customer bound).
+    """
+    demands = np.asarray(demands, dtype=float).reshape(-1)
+    if demands.size == 0 or np.any(demands < 0):
+        raise ValueError("demands must be non-negative and non-empty")
+    if think_time < 0 or population < 1:
+        raise ValueError("think_time must be >= 0 and population >= 1")
+    total_demand = float(demands.sum())
+    max_demand = float(demands.max())
+    upper_saturation = 1.0 / max_demand if max_demand > 0 else np.inf
+    upper_low_load = population / (total_demand + think_time) if (total_demand + think_time) > 0 else np.inf
+    lower = population / (population * total_demand + think_time) if (population * total_demand + think_time) > 0 else 0.0
+    return ThroughputBounds(lower=lower, upper=min(upper_saturation, upper_low_load))
+
+
+def balanced_job_bounds(
+    demands, think_time: float, population: int
+) -> ThroughputBounds:
+    """Tighter (queue-length based) bounds for closed networks with a delay.
+
+    The lower bound refines the pessimistic asymptotic bound by observing that
+    the total queue length seen by an arriving customer is at most ``N - 1``
+    and is worth at most ``D_max`` seconds of extra delay per queued customer:
+
+        X(N) >= N / (Z + D_tot + (N - 1) * D_max).
+
+    The upper bound is the optimistic asymptotic bound
+    ``min(1 / D_max, N / (Z + D_tot))`` (with an exponential delay station the
+    classical balanced-system refinement of the upper bound does not carry
+    over unchanged, so the provably safe bound is kept).
+    """
+    demands = np.asarray(demands, dtype=float).reshape(-1)
+    if demands.size == 0 or np.any(demands < 0):
+        raise ValueError("demands must be non-negative and non-empty")
+    if think_time < 0 or population < 1:
+        raise ValueError("think_time must be >= 0 and population >= 1")
+    total_demand = float(demands.sum())
+    max_demand = float(demands.max())
+    n = population
+    z = think_time
+    lower_denominator = z + total_demand + (n - 1) * max_demand
+    lower = n / lower_denominator if lower_denominator > 0 else 0.0
+    saturation = 1.0 / max_demand if max_demand > 0 else np.inf
+    optimistic = n / (z + total_demand) if (z + total_demand) > 0 else np.inf
+    return ThroughputBounds(lower=lower, upper=min(optimistic, saturation))

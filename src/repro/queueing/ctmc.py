@@ -1,0 +1,110 @@
+"""Sparse continuous-time Markov chain utilities.
+
+The exact solution of the closed MAP queueing network (Figure 9 of the paper)
+requires building and solving a CTMC with tens of thousands of states.  This
+module provides a small, reusable toolkit:
+
+* :class:`SparseGeneratorBuilder` — incremental construction of a sparse
+  generator matrix from individual transitions,
+* :func:`steady_state_distribution` — robust solution of the global balance
+  equations ``pi Q = 0``, ``pi 1 = 1`` using a sparse direct solve with an
+  iterative fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sparse
+import scipy.sparse.linalg as sparse_linalg
+
+__all__ = ["SparseGeneratorBuilder", "steady_state_distribution"]
+
+
+class SparseGeneratorBuilder:
+    """Incremental builder of a sparse CTMC generator matrix.
+
+    Off-diagonal transition rates are added with :meth:`add`; the diagonal is
+    filled automatically so that every row sums to zero.
+    """
+
+    def __init__(self, num_states: int) -> None:
+        if num_states < 1:
+            raise ValueError("num_states must be >= 1")
+        self.num_states = num_states
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._rates: list[float] = []
+
+    def add(self, source: int, destination: int, rate: float) -> None:
+        """Add a transition with the given rate (ignored when rate <= 0)."""
+        if rate <= 0:
+            return
+        if source == destination:
+            raise ValueError("self-loops are not allowed in a CTMC generator")
+        if not (0 <= source < self.num_states and 0 <= destination < self.num_states):
+            raise IndexError("state index out of range")
+        self._rows.append(source)
+        self._cols.append(destination)
+        self._rates.append(float(rate))
+
+    def build(self) -> sparse.csr_matrix:
+        """Return the generator as a CSR matrix with a consistent diagonal."""
+        off_diagonal = sparse.coo_matrix(
+            (self._rates, (self._rows, self._cols)),
+            shape=(self.num_states, self.num_states),
+        ).tocsr()
+        # Sum duplicate entries (coo->csr already sums duplicates).
+        row_sums = np.asarray(off_diagonal.sum(axis=1)).reshape(-1)
+        diagonal = sparse.diags(-row_sums)
+        return (off_diagonal + diagonal).tocsr()
+
+
+def steady_state_distribution(generator: sparse.spmatrix, tol: float = 1e-12) -> np.ndarray:
+    """Solve ``pi Q = 0`` with ``pi >= 0`` and ``sum(pi) = 1``.
+
+    A direct sparse LU solve of the transposed balance equations (with one
+    equation replaced by the normalisation constraint) is attempted first;
+    if it fails or produces an invalid vector, a power-iteration on the
+    uniformised chain is used as a fallback.
+    """
+    num_states = generator.shape[0]
+    if generator.shape[0] != generator.shape[1]:
+        raise ValueError("generator must be square")
+    if num_states == 1:
+        return np.array([1.0])
+
+    A = sparse.lil_matrix(generator.T)
+    A[-1, :] = 1.0
+    b = np.zeros(num_states)
+    b[-1] = 1.0
+    try:
+        solution = sparse_linalg.spsolve(A.tocsc(), b)
+        solution = np.asarray(solution).reshape(-1)
+        if np.all(np.isfinite(solution)) and solution.min() > -1e-8:
+            solution = np.clip(solution, 0.0, None)
+            total = solution.sum()
+            if total > 0:
+                return solution / total
+    except Exception:  # pragma: no cover - fallback path
+        pass
+    return _power_iteration(generator, tol=tol)
+
+
+def _power_iteration(
+    generator: sparse.spmatrix, tol: float = 1e-12, max_iterations: int = 200_000
+) -> np.ndarray:
+    """Steady state via power iteration on the uniformised DTMC."""
+    num_states = generator.shape[0]
+    generator = generator.tocsr()
+    diagonal = -generator.diagonal()
+    uniformisation_rate = float(diagonal.max()) * 1.05 + 1e-12
+    transition = sparse.eye(num_states, format="csr") + generator / uniformisation_rate
+    pi = np.full(num_states, 1.0 / num_states)
+    for _ in range(max_iterations):
+        new_pi = pi @ transition
+        new_pi = np.clip(new_pi, 0.0, None)
+        new_pi /= new_pi.sum()
+        if np.abs(new_pi - pi).max() < tol:
+            return new_pi
+        pi = new_pi
+    return pi

@@ -1,0 +1,91 @@
+"""Classical single-station reference formulas.
+
+These closed forms serve as sanity baselines in tests and examples:
+
+* M/M/1 metrics,
+* the Pollaczek–Khinchin mean response time of the M/G/1 queue (valid only
+  for *independent* service times — the paper stresses that burstiness
+  invalidates it),
+* the heavy-traffic approximation of the mean waiting time of a G/G/1 queue
+  parameterised by the indices of dispersion of the arrival and service
+  processes (Sriram & Whitt), which shows why the index of dispersion is the
+  right single number to carry into a queueing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MM1Metrics",
+    "mm1_metrics",
+    "mg1_mean_response_time",
+    "heavy_traffic_mean_waiting_time",
+]
+
+
+@dataclass(frozen=True)
+class MM1Metrics:
+    """Steady-state metrics of an M/M/1 queue."""
+
+    utilization: float
+    mean_queue_length: float
+    mean_response_time: float
+    mean_waiting_time: float
+
+
+def mm1_metrics(arrival_rate: float, service_rate: float) -> MM1Metrics:
+    """Exact M/M/1 steady-state metrics (requires ``arrival < service``)."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        raise ValueError("the queue is unstable (utilization >= 1)")
+    mean_queue = rho / (1.0 - rho)
+    mean_response = 1.0 / (service_rate - arrival_rate)
+    mean_waiting = mean_response - 1.0 / service_rate
+    return MM1Metrics(rho, mean_queue, mean_response, mean_waiting)
+
+
+def mg1_mean_response_time(
+    arrival_rate: float, service_mean: float, service_scv: float
+) -> float:
+    """Pollaczek–Khinchin mean response time of the M/G/1 FCFS queue.
+
+    ``E[R] = S + rho * S * (1 + SCV) / (2 * (1 - rho))``.  Valid only when
+    service times are i.i.d.; bursty (autocorrelated) service violates the
+    assumption, which is exactly the failure mode motivating the paper.
+    """
+    if arrival_rate <= 0 or service_mean <= 0:
+        raise ValueError("arrival_rate and service_mean must be positive")
+    if service_scv < 0:
+        raise ValueError("service_scv must be non-negative")
+    rho = arrival_rate * service_mean
+    if rho >= 1.0:
+        raise ValueError("the queue is unstable (utilization >= 1)")
+    waiting = rho * service_mean * (1.0 + service_scv) / (2.0 * (1.0 - rho))
+    return service_mean + waiting
+
+
+def heavy_traffic_mean_waiting_time(
+    arrival_rate: float,
+    service_mean: float,
+    arrival_dispersion: float = 1.0,
+    service_dispersion: float = 1.0,
+) -> float:
+    """Heavy-traffic mean waiting time of a G/G/1 queue.
+
+    ``E[W] ≈ rho * S * (I_a + I_s) / (2 * (1 - rho))`` where ``I_a`` and
+    ``I_s`` are the indices of dispersion of the arrival and service
+    processes.  With ``I_a = I_s = 1`` this reduces to the M/M/1 waiting
+    time; growing either index grows the delay linearly, which is the
+    quantitative intuition behind Table 1 of the paper.
+    """
+    if arrival_rate <= 0 or service_mean <= 0:
+        raise ValueError("arrival_rate and service_mean must be positive")
+    if arrival_dispersion < 0 or service_dispersion < 0:
+        raise ValueError("dispersion indices must be non-negative")
+    rho = arrival_rate * service_mean
+    if rho >= 1.0:
+        raise ValueError("the queue is unstable (utilization >= 1)")
+    return rho * service_mean * (arrival_dispersion + service_dispersion) / (2.0 * (1.0 - rho))

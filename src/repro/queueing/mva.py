@@ -1,0 +1,138 @@
+"""Exact Mean Value Analysis (MVA) for single-class closed networks.
+
+This is the standard capacity-planning model that the paper uses as the
+baseline (Section 3.4): a closed queueing network with a fixed population of
+``N`` emulated browsers, a delay station representing the user think time
+``Z`` and one queueing station per server, each characterised only by its
+mean service demand.  The exact MVA recursion (Reiser & Lavenberg) computes
+throughput, response times, queue lengths and utilisations for every
+population from 1 to ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MVAResult", "mva_closed_network"]
+
+
+@dataclass(frozen=True)
+class MVAResult:
+    """Results of the exact MVA recursion for populations ``1..N``.
+
+    All arrays are indexed so that entry ``n - 1`` corresponds to population
+    ``n``; station-indexed arrays have shape ``(N, M)`` where ``M`` is the
+    number of queueing stations.
+    """
+
+    demands: np.ndarray
+    think_time: float
+    throughput: np.ndarray
+    response_times: np.ndarray
+    queue_lengths: np.ndarray
+    utilizations: np.ndarray
+
+    @property
+    def population(self) -> int:
+        """Largest population evaluated."""
+        return int(self.throughput.shape[0])
+
+    def system_response_time(self, population: int | None = None) -> float:
+        """Mean response time (excluding think time) at the given population."""
+        n = self.population if population is None else population
+        self._check_population(n)
+        return float(self.response_times[n - 1].sum())
+
+    def throughput_at(self, population: int) -> float:
+        """System throughput at the given population."""
+        self._check_population(population)
+        return float(self.throughput[population - 1])
+
+    def utilization_at(self, population: int) -> np.ndarray:
+        """Per-station utilisation at the given population."""
+        self._check_population(population)
+        return self.utilizations[population - 1]
+
+    def queue_length_at(self, population: int) -> np.ndarray:
+        """Per-station mean queue length at the given population."""
+        self._check_population(population)
+        return self.queue_lengths[population - 1]
+
+    def bottleneck_station(self) -> int:
+        """Index of the station with the largest service demand."""
+        return int(np.argmax(self.demands))
+
+    def _check_population(self, population: int) -> None:
+        if not 1 <= population <= self.population:
+            raise ValueError(
+                "population must be between 1 and %d" % self.population
+            )
+
+
+def mva_closed_network(
+    demands, think_time: float, population: int
+) -> MVAResult:
+    """Exact MVA for a closed network of queueing stations plus a delay.
+
+    Parameters
+    ----------
+    demands:
+        Mean service demand of each queueing station (seconds per visit,
+        aggregated over visits).  The stations are assumed to follow a
+        product-form discipline (processor sharing or FCFS-exponential).
+    think_time:
+        Mean think time ``Z`` of the delay station (may be zero).
+    population:
+        Number of circulating customers (emulated browsers).
+
+    Returns
+    -------
+    MVAResult
+
+    Notes
+    -----
+    The classic recursion is
+
+        R_m(n) = D_m * (1 + Q_m(n - 1))
+        X(n)   = n / (Z + sum_m R_m(n))
+        Q_m(n) = X(n) * R_m(n)
+
+    starting from ``Q_m(0) = 0``.
+    """
+    demands = np.asarray(demands, dtype=float).reshape(-1)
+    if demands.size == 0:
+        raise ValueError("at least one queueing station is required")
+    if np.any(demands < 0):
+        raise ValueError("service demands must be non-negative")
+    if think_time < 0:
+        raise ValueError("think_time must be non-negative")
+    if population < 1:
+        raise ValueError("population must be >= 1")
+
+    stations = demands.size
+    queue_lengths = np.zeros(stations)
+    throughput = np.zeros(population)
+    response_history = np.zeros((population, stations))
+    queue_history = np.zeros((population, stations))
+    utilization_history = np.zeros((population, stations))
+
+    for n in range(1, population + 1):
+        response_times = demands * (1.0 + queue_lengths)
+        total_response = float(response_times.sum())
+        x = n / (think_time + total_response) if (think_time + total_response) > 0 else 0.0
+        queue_lengths = x * response_times
+        throughput[n - 1] = x
+        response_history[n - 1] = response_times
+        queue_history[n - 1] = queue_lengths
+        utilization_history[n - 1] = np.minimum(x * demands, 1.0)
+
+    return MVAResult(
+        demands=demands,
+        think_time=float(think_time),
+        throughput=throughput,
+        response_times=response_history,
+        queue_lengths=queue_history,
+        utilizations=utilization_history,
+    )

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+* :mod:`~repro.simulation.events` — a minimal event queue with lazy
+  invalidation, shared by all simulators,
+* :mod:`~repro.simulation.ps_server` — an exact processor-sharing server
+  based on virtual (attained-service) time,
+* :mod:`~repro.simulation.trace_queue` — the trace-driven open queue used for
+  Table 1 (Poisson arrivals, service times read from a trace, FCFS),
+* :mod:`~repro.simulation.closed_network` — a simulator of the abstract
+  closed network of Figure 9 (delay station plus two servers whose service
+  processes are MAPs), used to cross-validate the analytical solver,
+* :mod:`~repro.simulation.random_streams` — seeded random-stream management.
+"""
+
+from repro.simulation.events import EventQueue
+from repro.simulation.ps_server import ProcessorSharingServer
+from repro.simulation.trace_queue import TraceQueueResult, simulate_mtrace1
+from repro.simulation.closed_network import (
+    ClosedNetworkSimResult,
+    simulate_closed_map_network,
+)
+from repro.simulation.random_streams import RandomStreams
+
+__all__ = [
+    "EventQueue",
+    "ProcessorSharingServer",
+    "TraceQueueResult",
+    "simulate_mtrace1",
+    "ClosedNetworkSimResult",
+    "simulate_closed_map_network",
+    "RandomStreams",
+]

@@ -1,0 +1,203 @@
+"""Simulation of the closed MAP queueing network of Figure 9.
+
+This simulator reproduces, event by event, the stochastic process whose
+stationary distribution the analytical solver
+(:class:`repro.queueing.map_network.MapClosedNetworkSolver`) computes:
+
+* ``N`` customers cycle think → front server → database server → think,
+* think times are exponential with mean ``Z`` (infinite-server delay),
+* each server completes work according to its service MAP: while the server
+  is busy the MAP generates completion events (the phase is frozen while the
+  server is idle), and each completion releases one queued customer.
+
+Its purpose is validation: for any pair of service MAPs the simulated
+throughput and utilisations must agree with the exact CTMC solution within
+statistical error, which is one of the strongest integration tests in the
+repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.maps.map_process import MAP
+
+__all__ = ["ClosedNetworkSimResult", "simulate_closed_map_network"]
+
+
+@dataclass(frozen=True)
+class ClosedNetworkSimResult:
+    """Estimates from one simulation run of the closed MAP network."""
+
+    population: int
+    think_time: float
+    horizon: float
+    throughput: float
+    front_utilization: float
+    db_utilization: float
+    front_queue_length: float
+    db_queue_length: float
+    completed: int
+
+    def summary(self) -> dict:
+        """Headline metrics (same keys as the analytical solver)."""
+        return {
+            "population": self.population,
+            "throughput": self.throughput,
+            "front_utilization": self.front_utilization,
+            "db_utilization": self.db_utilization,
+            "front_queue_length": self.front_queue_length,
+            "db_queue_length": self.db_queue_length,
+        }
+
+
+class _MapServiceState:
+    """Incremental sampling of a MAP's completion process for one server."""
+
+    def __init__(self, map_process: MAP, rng: np.random.Generator) -> None:
+        self.map = map_process
+        self.rng = rng
+        order = map_process.order
+        self.phase = int(rng.choice(order, p=map_process.embedded_stationary))
+        self.total_rates = -np.diag(map_process.D0)
+        self.order = order
+
+    def sample_completion_interval(self) -> float:
+        """Busy time until the next completion event, advancing the phase."""
+        elapsed = 0.0
+        while True:
+            rate = self.total_rates[self.phase]
+            elapsed += self.rng.exponential(1.0 / rate)
+            row_hidden = np.maximum(self.map.D0[self.phase].copy(), 0.0)
+            row_hidden[self.phase] = 0.0
+            row_marked = np.maximum(self.map.D1[self.phase], 0.0)
+            probabilities = np.concatenate([row_hidden, row_marked]) / rate
+            jump = int(self.rng.choice(2 * self.order, p=probabilities))
+            self.phase = jump % self.order
+            if jump >= self.order:
+                return elapsed
+
+
+def simulate_closed_map_network(
+    front_service: MAP,
+    db_service: MAP,
+    think_time: float,
+    population: int,
+    horizon: float,
+    warmup: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> ClosedNetworkSimResult:
+    """Simulate the closed network for ``horizon`` simulated seconds.
+
+    Parameters
+    ----------
+    front_service, db_service:
+        Service MAPs of the two queues.
+    think_time:
+        Mean exponential think time (must be positive; an infinite-server
+        station with zero delay would make the event loop degenerate).
+    population:
+        Number of circulating customers.
+    horizon:
+        Total simulated time.
+    warmup:
+        Initial interval excluded from all estimates.
+    rng:
+        Random generator (a fresh default generator when omitted).
+    """
+    if think_time <= 0:
+        raise ValueError("think_time must be positive for the simulator")
+    if population < 1:
+        raise ValueError("population must be >= 1")
+    if horizon <= warmup:
+        raise ValueError("horizon must exceed warmup")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    front_state = _MapServiceState(front_service, rng)
+    db_state = _MapServiceState(db_service, rng)
+
+    # State variables.
+    thinking = population
+    front_queue = 0
+    db_queue = 0
+    clock = 0.0
+    next_think_completion = np.inf
+    next_front_completion = np.inf
+    next_db_completion = np.inf
+    # Remaining busy work until the next MAP completion at each server (the
+    # MAP interval is consumed only while the server is busy).
+    front_residual = front_state.sample_completion_interval()
+    db_residual = db_state.sample_completion_interval()
+
+    def think_rate() -> float:
+        return thinking / think_time if thinking > 0 else 0.0
+
+    # Statistics.
+    completed = 0
+    busy_front = 0.0
+    busy_db = 0.0
+    area_front = 0.0
+    area_db = 0.0
+    measured_time = 0.0
+
+    def schedule_think() -> float:
+        rate = think_rate()
+        return clock + rng.exponential(1.0 / rate) if rate > 0 else np.inf
+
+    next_think_completion = schedule_think()
+
+    while clock < horizon:
+        next_front_completion = clock + front_residual if front_queue > 0 else np.inf
+        next_db_completion = clock + db_residual if db_queue > 0 else np.inf
+        next_time = min(next_think_completion, next_front_completion, next_db_completion)
+        if next_time == np.inf or next_time > horizon:
+            next_time = horizon
+        elapsed = next_time - clock
+        in_measurement = max(0.0, min(next_time, horizon) - max(clock, warmup))
+        if in_measurement > 0:
+            measured_time += in_measurement
+            if front_queue > 0:
+                busy_front += in_measurement
+                area_front += in_measurement * front_queue
+            if db_queue > 0:
+                busy_db += in_measurement
+                area_db += in_measurement * db_queue
+        # Consume busy time from the MAP completion intervals.
+        if front_queue > 0:
+            front_residual -= elapsed
+        if db_queue > 0:
+            db_residual -= elapsed
+        clock = next_time
+        if clock >= horizon:
+            break
+        if next_time == next_think_completion:
+            thinking -= 1
+            front_queue += 1
+            next_think_completion = schedule_think()
+        elif next_time == next_front_completion:
+            front_queue -= 1
+            db_queue += 1
+            front_residual = front_state.sample_completion_interval()
+        else:
+            db_queue -= 1
+            thinking += 1
+            db_residual = db_state.sample_completion_interval()
+            next_think_completion = schedule_think()
+            if clock >= warmup:
+                completed += 1
+
+    duration = measured_time if measured_time > 0 else (horizon - warmup)
+    return ClosedNetworkSimResult(
+        population=population,
+        think_time=think_time,
+        horizon=horizon,
+        throughput=completed / duration,
+        front_utilization=busy_front / duration,
+        db_utilization=busy_db / duration,
+        front_queue_length=area_front / duration,
+        db_queue_length=area_db / duration,
+        completed=completed,
+    )

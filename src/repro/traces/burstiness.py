@@ -1,0 +1,173 @@
+"""Shaping the temporal structure (burstiness) of a sample sequence.
+
+The key observation of Section 2 of the paper is that two traces with the
+*same* marginal distribution can have dramatically different queueing
+behaviour depending on whether large samples are spread uniformly or
+aggregated in bursts.  The functions below reorder a sample sequence without
+changing its multiset of values:
+
+* :func:`shuffle_trace` — random order (destroys all autocorrelation),
+* :func:`impose_burstiness` — aggregates the largest samples into a given
+  number of contiguous bursts placed at random positions,
+* :func:`calibrate_bursts_to_dispersion` — searches for the number of bursts
+  that yields a requested index of dispersion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.stats import index_of_dispersion_counts
+
+__all__ = [
+    "shuffle_trace",
+    "impose_burstiness",
+    "calibrate_bursts_to_dispersion",
+]
+
+
+def shuffle_trace(samples, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Return a random permutation of the samples (burstiness destroyed)."""
+    if rng is None:
+        rng = np.random.default_rng()
+    array = np.asarray(samples, dtype=float).reshape(-1)
+    return rng.permutation(array)
+
+
+def impose_burstiness(
+    samples,
+    num_bursts: int,
+    threshold_quantile: float = 0.85,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Reorder ``samples`` so that large values aggregate into bursts.
+
+    The samples above the ``threshold_quantile`` are split into
+    ``num_bursts`` contiguous groups which are inserted at random positions
+    in a shuffled sequence of the remaining (small) samples.  With
+    ``num_bursts == 1`` all large samples form a single burst — the maximum
+    burstiness achievable for the given marginal distribution (Figure 1(d)).
+    Increasing ``num_bursts`` disperses the bursts and lowers the index of
+    dispersion towards the SCV of the marginal.
+
+    The returned array is a permutation of the input: the marginal
+    distribution (and therefore mean, SCV and every percentile) is preserved
+    exactly.
+    """
+    if num_bursts < 1:
+        raise ValueError("num_bursts must be >= 1")
+    if not 0.0 < threshold_quantile < 1.0:
+        raise ValueError("threshold_quantile must be in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng()
+    array = np.asarray(samples, dtype=float).reshape(-1)
+    if array.size < 4:
+        raise ValueError("at least four samples are required")
+    threshold = np.quantile(array, threshold_quantile)
+    large_mask = array > threshold
+    large = array[large_mask]
+    small = array[~large_mask]
+    if large.size == 0 or small.size == 0:
+        # Degenerate marginal (e.g. constant trace): nothing to aggregate.
+        return rng.permutation(array)
+    num_bursts = min(num_bursts, large.size)
+    large = rng.permutation(large)
+    small = rng.permutation(small)
+    burst_groups = np.array_split(large, num_bursts)
+    # Choose distinct insertion points in the small sequence, in increasing
+    # order, so bursts do not merge unless num_bursts is close to len(small).
+    insert_points = np.sort(rng.choice(small.size + 1, size=num_bursts, replace=True))
+    pieces: list[np.ndarray] = []
+    previous = 0
+    for burst, point in zip(burst_groups, insert_points):
+        pieces.append(small[previous:point])
+        pieces.append(burst)
+        previous = point
+    pieces.append(small[previous:])
+    return np.concatenate(pieces)
+
+
+def calibrate_bursts_to_dispersion(
+    samples,
+    target_dispersion: float | None,
+    num_bursts: int | None = None,
+    threshold_quantile: float = 0.85,
+    tolerance: float = 0.10,
+    max_iterations: int = 30,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, int]:
+    """Reorder ``samples`` so its measured index of dispersion hits a target.
+
+    Parameters
+    ----------
+    samples:
+        Sample sequence to reorder (its values are never altered).
+    target_dispersion:
+        Desired index of dispersion (measured with
+        :func:`~repro.traces.stats.index_of_dispersion_counts`).  May be
+        ``None`` when ``num_bursts`` is given explicitly.
+    num_bursts:
+        Skip the search and impose exactly this number of bursts.
+    threshold_quantile, rng:
+        Passed through to :func:`impose_burstiness`.
+    tolerance:
+        Relative tolerance on the achieved index of dispersion.
+    max_iterations:
+        Maximum number of bisection steps.
+
+    Returns
+    -------
+    (reordered, bursts):
+        The reordered sample array and the number of bursts used.
+
+    Notes
+    -----
+    The index of dispersion is monotonically non-increasing in the number of
+    bursts, so a bisection on ``log2(num_bursts)`` converges quickly.  The
+    randomness of burst placement makes the measured value noisy; the
+    bisection therefore stops as soon as the relative error falls below
+    ``tolerance`` and otherwise returns the best value seen.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    array = np.asarray(samples, dtype=float).reshape(-1)
+    if num_bursts is not None:
+        reordered = impose_burstiness(array, num_bursts, threshold_quantile, rng)
+        return reordered, num_bursts
+    if target_dispersion is None:
+        raise ValueError("either target_dispersion or num_bursts must be given")
+    if target_dispersion <= 0:
+        raise ValueError("target_dispersion must be positive")
+
+    large_count = int(np.ceil(array.size * (1.0 - threshold_quantile)))
+    low, high = 1, max(2, large_count)
+
+    def measure(bursts: int) -> tuple[np.ndarray, float]:
+        candidate = impose_burstiness(array, bursts, threshold_quantile, rng)
+        return candidate, index_of_dispersion_counts(candidate)
+
+    best_trace, best_value = measure(low)
+    best_bursts = low
+    if abs(best_value - target_dispersion) / target_dispersion <= tolerance:
+        return best_trace, best_bursts
+    # The single-burst configuration is the maximum achievable dispersion.
+    if best_value < target_dispersion:
+        return best_trace, best_bursts
+
+    for _ in range(max_iterations):
+        if high - low <= 1:
+            break
+        middle = int(np.sqrt(low * high))  # geometric bisection
+        middle = min(max(middle, low + 1), high - 1)
+        candidate, value = measure(middle)
+        if abs(value - target_dispersion) / target_dispersion < abs(
+            best_value - target_dispersion
+        ) / target_dispersion:
+            best_trace, best_value, best_bursts = candidate, value, middle
+        if abs(value - target_dispersion) / target_dispersion <= tolerance:
+            return candidate, middle
+        if value > target_dispersion:
+            low = middle
+        else:
+            high = middle
+    return best_trace, best_bursts

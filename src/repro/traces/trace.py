@@ -1,0 +1,119 @@
+"""The :class:`Trace` container.
+
+A :class:`Trace` bundles a sequence of durations (service times or
+inter-arrival times) with lazily computed descriptors.  It is the common
+currency between the workload generators, the burstiness estimators and the
+simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.traces import stats as trace_stats
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered sequence of non-negative durations.
+
+    Parameters
+    ----------
+    samples:
+        Sequence of durations in seconds (service times of consecutive
+        requests, or inter-arrival times of consecutive events).
+    label:
+        Optional human-readable label used in reports.
+    """
+
+    samples: np.ndarray
+    label: str = field(default="trace")
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.samples, dtype=float).reshape(-1)
+        if array.size < 2:
+            raise ValueError("a trace needs at least two samples")
+        if np.any(array < 0):
+            raise ValueError("durations must be non-negative")
+        object.__setattr__(self, "samples", array)
+
+    # ------------------------------------------------------------------
+    # Basic descriptors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    @cached_property
+    def mean(self) -> float:
+        """Mean duration."""
+        return float(self.samples.mean())
+
+    @cached_property
+    def variance(self) -> float:
+        """Variance of the durations."""
+        return float(self.samples.var())
+
+    @cached_property
+    def scv(self) -> float:
+        """Squared coefficient of variation."""
+        return trace_stats.scv(self.samples)
+
+    @cached_property
+    def total_time(self) -> float:
+        """Sum of all durations (length of the concatenated busy time)."""
+        return float(self.samples.sum())
+
+    def percentile(self, q: float) -> float:
+        """Empirical ``q``-quantile of the durations (``q`` in (0, 1))."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        return float(np.quantile(self.samples, q))
+
+    # ------------------------------------------------------------------
+    # Temporal structure
+    # ------------------------------------------------------------------
+    def autocorrelation(self, lag: int) -> float:
+        """Lag-``lag`` autocorrelation coefficient."""
+        return trace_stats.autocorrelation(self.samples, lag)
+
+    def autocorrelation_function(self, max_lag: int) -> np.ndarray:
+        """Autocorrelation coefficients for lags ``1..max_lag``."""
+        return trace_stats.autocorrelation_function(self.samples, max_lag)
+
+    @cached_property
+    def index_of_dispersion(self) -> float:
+        """Index of dispersion for counts (eq. (2), largest feasible window)."""
+        return trace_stats.index_of_dispersion_counts(self.samples)
+
+    def index_of_dispersion_acf(self, max_lag: int | None = None) -> float:
+        """Index of dispersion via eq. (1) (truncated autocorrelation sum)."""
+        return trace_stats.index_of_dispersion_acf(self.samples, max_lag)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def event_times(self) -> np.ndarray:
+        """Cumulative sums: the event epochs of the concatenated trace."""
+        return np.cumsum(self.samples)
+
+    def head(self, count: int) -> "Trace":
+        """A new trace containing the first ``count`` samples."""
+        if count < 2:
+            raise ValueError("count must be >= 2")
+        return Trace(self.samples[:count], label=self.label)
+
+    def summary(self) -> dict:
+        """Dictionary of the descriptors used in the paper's tables."""
+        return {
+            "label": self.label,
+            "count": len(self),
+            "mean": self.mean,
+            "scv": self.scv,
+            "p95": self.percentile(0.95),
+            "index_of_dispersion": self.index_of_dispersion,
+        }

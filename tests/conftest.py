@@ -1,0 +1,36 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import (
+    map2_exponential,
+    map2_from_moments_and_decay,
+    map2_hyperexponential_renewal,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def poisson_map():
+    """A Poisson process with rate 2 expressed as a MAP."""
+    return map2_exponential(0.5)
+
+
+@pytest.fixture
+def renewal_h2_map():
+    """A renewal MAP(2) with hyper-exponential marginal (mean 1, SCV 3)."""
+    return map2_hyperexponential_renewal(1.0, 3.0)
+
+
+@pytest.fixture
+def bursty_map():
+    """A strongly autocorrelated MAP(2) (mean 1, SCV 3, decay 0.98)."""
+    return map2_from_moments_and_decay(1.0, 3.0, 0.98)

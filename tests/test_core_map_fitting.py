@@ -1,0 +1,93 @@
+"""Tests for MAP(2) fitting from (mean, index of dispersion, 95th percentile)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.map_fitting import FittedServiceProcess, candidate_grid, fit_map2_from_measurements
+from repro.maps import map2_from_moments_and_decay
+
+
+class TestFitQuality:
+    @pytest.mark.parametrize("target_i", [5.0, 40.0, 150.0, 400.0])
+    def test_dispersion_within_tolerance(self, target_i):
+        fit = fit_map2_from_measurements(mean=0.01, index_of_dispersion=target_i)
+        assert fit.dispersion_error <= 0.20 + 1e-9
+
+    @pytest.mark.parametrize("mean", [0.001, 0.05, 2.0])
+    def test_mean_matched_exactly(self, mean):
+        fit = fit_map2_from_measurements(mean=mean, index_of_dispersion=50.0)
+        assert fit.map.mean() == pytest.approx(mean, rel=1e-6)
+
+    def test_p95_improves_selection(self):
+        """Providing the true p95 of a known process should select a candidate
+        whose p95 is closer than the worst feasible candidate."""
+        true = map2_from_moments_and_decay(1.0, 3.0, 0.99)
+        target_i = true.index_of_dispersion()
+        target_p95 = true.interarrival_percentile(0.95)
+        fit = fit_map2_from_measurements(1.0, target_i, p95=target_p95)
+        assert fit.achieved_p95 == pytest.approx(target_p95, rel=0.35)
+
+    def test_recovers_known_process_descriptors(self):
+        true = map2_from_moments_and_decay(0.02, 5.0, 0.995)
+        fit = fit_map2_from_measurements(
+            0.02, true.index_of_dispersion(), true.interarrival_percentile(0.95)
+        )
+        assert fit.map.index_of_dispersion() == pytest.approx(
+            true.index_of_dispersion(), rel=0.25
+        )
+        assert fit.map.mean() == pytest.approx(0.02, rel=1e-6)
+
+    def test_exponential_shortcut_for_low_dispersion(self):
+        fit = fit_map2_from_measurements(mean=0.5, index_of_dispersion=0.8)
+        assert fit.achieved_dispersion == pytest.approx(1.0)
+        assert fit.map.order == 1
+        assert fit.scv == pytest.approx(1.0)
+
+    def test_without_p95_selects_minimal_dispersion_error(self):
+        fit = fit_map2_from_measurements(mean=0.1, index_of_dispersion=80.0, p95=None)
+        assert fit.dispersion_error <= 0.20 + 1e-9
+
+    def test_result_dataclass_fields(self):
+        fit = fit_map2_from_measurements(mean=1.0, index_of_dispersion=30.0, p95=4.0)
+        assert isinstance(fit, FittedServiceProcess)
+        assert fit.candidates_feasible >= 1
+        assert fit.candidates_considered >= fit.candidates_feasible
+        summary = fit.summary()
+        assert summary["target_I"] == pytest.approx(30.0)
+
+    def test_p95_error_property(self):
+        fit = fit_map2_from_measurements(mean=1.0, index_of_dispersion=30.0, p95=4.0)
+        assert fit.p95_error is not None and fit.p95_error >= 0.0
+        fit_no_p95 = fit_map2_from_measurements(mean=1.0, index_of_dispersion=30.0)
+        assert fit_no_p95.p95_error is None
+
+    def test_fallback_when_tolerance_tiny(self):
+        fit = fit_map2_from_measurements(
+            mean=1.0, index_of_dispersion=37.7, dispersion_tolerance=1e-6
+        )
+        # The fallback still returns a usable process with the exact mean.
+        assert fit.map.mean() == pytest.approx(1.0, rel=1e-6)
+
+
+class TestCandidateGrid:
+    def test_grid_not_empty(self):
+        assert len(candidate_grid(50.0)) > 50
+
+    def test_grid_scvs_bounded_by_target(self):
+        grid = candidate_grid(10.0)
+        assert max(scv for scv, _, _ in grid) <= 1.2 * 10.0 + 1e-9
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            candidate_grid(0.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            fit_map2_from_measurements(0.0, 10.0)
+
+    def test_rejects_nonpositive_dispersion(self):
+        with pytest.raises(ValueError):
+            fit_map2_from_measurements(1.0, 0.0)

@@ -1,0 +1,135 @@
+"""Tests for the end-to-end model builder (measurements -> MultiTierModel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MultiTierModel,
+    ServerMeasurement,
+    build_multitier_model,
+    build_server_model,
+)
+from repro.maps import map2_from_moments_and_decay
+from repro.maps.sampling import sample_interarrival_times
+
+
+def measurement_from_service_trace(name, service_times, period):
+    """Bin a back-to-back service trace into a ServerMeasurement."""
+    event_times = np.cumsum(service_times)
+    num_windows = int(event_times[-1] // period)
+    edges = np.arange(1, num_windows + 1) * period
+    cumulative = np.searchsorted(event_times, edges, side="right")
+    completions = np.diff(np.concatenate([[0], cumulative]))
+    utilizations = np.ones(num_windows)
+    return ServerMeasurement(name, utilizations, completions, period)
+
+
+@pytest.fixture(scope="module")
+def exponential_measurement():
+    rng = np.random.default_rng(5)
+    service = rng.exponential(0.005, 80_000)
+    return measurement_from_service_trace("front", service, 1.0)
+
+
+@pytest.fixture(scope="module")
+def bursty_measurement():
+    rng = np.random.default_rng(6)
+    process = map2_from_moments_and_decay(0.01, 4.0, 0.99)
+    service = sample_interarrival_times(process, 80_000, rng=rng)
+    return measurement_from_service_trace("database", service, 1.0)
+
+
+class TestServerMeasurement:
+    def test_mean_service_time(self, exponential_measurement):
+        assert exponential_measurement.mean_service_time == pytest.approx(0.005, rel=0.05)
+
+    def test_mean_utilization(self, exponential_measurement):
+        assert exponential_measurement.mean_utilization == pytest.approx(1.0)
+
+    def test_observed_throughput(self, exponential_measurement):
+        assert exponential_measurement.observed_throughput == pytest.approx(200.0, rel=0.05)
+
+    def test_validation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ServerMeasurement("x", [0.5, 0.5], [1.0], 1.0)
+
+    def test_validation_period(self):
+        with pytest.raises(ValueError):
+            ServerMeasurement("x", [0.5], [1.0], 0.0)
+
+
+class TestBuildServerModel:
+    def test_exponential_service_modelled_as_low_dispersion(self, exponential_measurement):
+        model = build_server_model(exponential_measurement)
+        assert model.index_of_dispersion < 3.0
+        assert model.mean_service_time == pytest.approx(0.005, rel=0.05)
+
+    def test_bursty_service_modelled_as_high_dispersion(self, bursty_measurement):
+        model = build_server_model(bursty_measurement)
+        assert model.index_of_dispersion > 10.0
+        assert model.fitted.achieved_dispersion > 10.0
+
+    def test_fitted_map_mean_matches_measurement(self, bursty_measurement):
+        model = build_server_model(bursty_measurement)
+        assert model.service_map.mean() == pytest.approx(model.mean_service_time, rel=1e-6)
+
+    def test_summary_keys(self, bursty_measurement):
+        summary = build_server_model(bursty_measurement).summary()
+        for key in ("name", "mean_service_time", "index_of_dispersion", "p95_service_time"):
+            assert key in summary
+
+
+class TestMultiTierModel:
+    @pytest.fixture(scope="class")
+    def model(self, exponential_measurement, bursty_measurement):
+        return build_multitier_model(
+            exponential_measurement, bursty_measurement, think_time=0.5
+        )
+
+    def test_predict_returns_metrics(self, model):
+        result = model.predict(20)
+        assert result.throughput > 0
+        assert 0 <= result.front_utilization <= 1
+        assert 0 <= result.db_utilization <= 1
+
+    def test_prediction_below_saturation_cap(self, model):
+        result = model.predict(50)
+        cap = 1.0 / max(model.front.mean_service_time, model.database.mean_service_time)
+        assert result.throughput <= cap * 1.001
+
+    def test_throughput_monotone_in_population(self, model):
+        throughputs = model.predict_throughput([5, 20, 40])
+        assert throughputs[0] < throughputs[1] <= throughputs[2] * 1.001
+
+    def test_mva_baseline_close_at_low_load(self, model):
+        populations = [5, 10]
+        mva = model.mva_throughput(populations)
+        map_based = model.predict_throughput(populations)
+        assert np.allclose(mva, map_based, rtol=0.1)
+
+    def test_mva_baseline_overestimates_under_burstiness(self, model):
+        population = 60
+        mva = model.mva_baseline(population).throughput_at(population)
+        map_based = model.predict(population).throughput
+        assert map_based <= mva * 1.02
+
+    def test_summary(self, model):
+        summary = model.summary()
+        assert summary["think_time"] == pytest.approx(0.5)
+        assert summary["front"]["name"] == "front"
+        assert summary["database"]["name"] == "database"
+
+    def test_rejects_negative_think_time(self, exponential_measurement, bursty_measurement):
+        from repro.core.model_builder import ServerModel  # noqa: F401 - documentation import
+
+        with pytest.raises(ValueError):
+            MultiTierModel(
+                front=build_server_model(exponential_measurement),
+                database=build_server_model(bursty_measurement),
+                think_time=-1.0,
+            )
+
+    def test_empty_population_list(self, model):
+        assert model.mva_throughput([]).size == 0

@@ -1,0 +1,126 @@
+"""Integration tests: the whole methodology exercised end to end.
+
+These tests tie together the substrates the way the paper does:
+
+1. A service process with *known* burstiness is generated from a MAP(2),
+   observed only through coarse monitoring windows, and the measurement +
+   fitting pipeline must recover a process with comparable burstiness.
+2. The closed MAP queueing network solved analytically must agree with the
+   discrete-event simulation of the same network.
+3. On the simulated TPC-W testbed, the burstiness-aware model must predict
+   the measured throughput of the browsing mix better than the MVA baseline
+   (the headline claim of the paper, Figure 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ServerMeasurement, build_multitier_model, build_server_model
+from repro.maps import map2_exponential, map2_from_moments_and_decay
+from repro.maps.sampling import sample_interarrival_times
+from repro.queueing import mva_closed_network, solve_map_closed_network
+from repro.simulation import simulate_closed_map_network
+from repro.tpcw import (
+    BROWSING_MIX,
+    ORDERING_MIX,
+    build_model_from_testbed,
+    collect_monitoring_dataset,
+    run_eb_sweep,
+)
+
+
+def measurement_from_service_trace(name, service_times, period):
+    event_times = np.cumsum(service_times)
+    num_windows = int(event_times[-1] // period)
+    edges = np.arange(1, num_windows + 1) * period
+    cumulative = np.searchsorted(event_times, edges, side="right")
+    completions = np.diff(np.concatenate([[0], cumulative]))
+    return ServerMeasurement(name, np.ones(num_windows), completions, period)
+
+
+class TestMeasureAndRefit:
+    def test_burstiness_recovered_within_factor(self, rng):
+        """Generate from a known MAP, measure through windows, refit: the
+        fitted index of dispersion must be within a factor ~3 of the truth
+        (coarse measurements lose information, but the order of magnitude and
+        the burstiness verdict must survive)."""
+        true_process = map2_from_moments_and_decay(0.01, 4.0, 0.99)
+        service = sample_interarrival_times(true_process, 100_000, rng=rng)
+        measurement = measurement_from_service_trace("db", service, 0.5)
+        model = build_server_model(measurement)
+        true_dispersion = true_process.index_of_dispersion()
+        assert model.index_of_dispersion > true_dispersion / 3.0
+        assert model.index_of_dispersion < true_dispersion * 3.0
+        assert model.fitted.achieved_dispersion > 10.0
+
+    def test_exponential_service_not_flagged_as_bursty(self, rng):
+        service = rng.exponential(0.01, 80_000)
+        measurement = measurement_from_service_trace("front", service, 0.5)
+        model = build_server_model(measurement)
+        assert model.index_of_dispersion < 3.0
+
+
+class TestAnalyticVersusSimulation:
+    def test_closed_network_solver_validated_by_simulation(self):
+        front = map2_exponential(0.01)
+        database = map2_from_moments_and_decay(0.008, 12.0, 0.99)
+        population = 25
+        exact = solve_map_closed_network(front, database, 0.5, population)
+        sim = simulate_closed_map_network(
+            front, database, 0.5, population, horizon=4000.0, warmup=400.0,
+            rng=np.random.default_rng(11),
+        )
+        assert sim.throughput == pytest.approx(exact.throughput, rel=0.07)
+        assert sim.front_utilization == pytest.approx(exact.front_utilization, rel=0.1)
+        assert sim.db_utilization == pytest.approx(exact.db_utilization, rel=0.1)
+
+
+class TestFullPipelineOnTpcw:
+    @pytest.fixture(scope="class")
+    def browsing_sweep(self):
+        return run_eb_sweep(BROWSING_MIX, [50, 100], duration=300.0, warmup=30.0, seed=7)
+
+    @pytest.fixture(scope="class")
+    def browsing_model(self):
+        dataset = collect_monitoring_dataset(
+            BROWSING_MIX, num_ebs=50, think_time=0.5, duration=600.0, warmup=60.0, seed=21
+        )
+        return build_model_from_testbed(dataset, model_think_time=0.5)
+
+    def test_database_flagged_as_bursty(self, browsing_model):
+        assert browsing_model.database.index_of_dispersion > 20.0
+        assert browsing_model.database.index_of_dispersion > browsing_model.front.index_of_dispersion
+
+    def test_map_model_beats_mva_at_high_load(self, browsing_sweep, browsing_model):
+        measured = {p.num_ebs: p.throughput for p in browsing_sweep}
+        population = 100
+        mva = mva_closed_network(
+            [browsing_model.front.mean_service_time, browsing_model.database.mean_service_time],
+            0.5,
+            population,
+        ).throughput_at(population)
+        map_based = browsing_model.predict(population).throughput
+        mva_error = abs(mva - measured[population]) / measured[population]
+        map_error = abs(map_based - measured[population]) / measured[population]
+        assert map_error < mva_error
+        assert map_error < 0.20
+
+    def test_low_load_prediction_accurate(self, browsing_sweep, browsing_model):
+        measured = {p.num_ebs: p.throughput for p in browsing_sweep}
+        prediction = browsing_model.predict(50).throughput
+        assert prediction == pytest.approx(measured[50], rel=0.15)
+
+    def test_ordering_mix_mva_is_fine(self):
+        """For the non-bursty ordering mix both models should be accurate."""
+        sweep = run_eb_sweep(ORDERING_MIX, [60], duration=200.0, warmup=25.0, seed=13)
+        measured = sweep[0].throughput
+        dataset = collect_monitoring_dataset(
+            ORDERING_MIX, num_ebs=60, think_time=0.5, duration=700.0, warmup=30.0, seed=14
+        )
+        model = build_model_from_testbed(dataset, model_think_time=0.5)
+        mva = model.mva_baseline(60).throughput_at(60)
+        map_based = model.predict(60).throughput
+        assert mva == pytest.approx(measured, rel=0.10)
+        assert map_based == pytest.approx(measured, rel=0.10)

@@ -1,0 +1,160 @@
+"""Unit tests for the MAP class (moments, autocorrelation, index of dispersion)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import MAP, map2_from_moments_and_decay, validate_map
+
+
+class TestValidation:
+    def test_valid_pair_accepted(self):
+        D0 = [[-2.0, 0.5], [0.2, -1.0]]
+        D1 = [[1.0, 0.5], [0.3, 0.5]]
+        validated = validate_map(D0, D1)
+        assert validated[0].shape == (2, 2)
+
+    def test_rejects_nonzero_row_sums(self):
+        with pytest.raises(ValueError):
+            validate_map([[-2.0, 0.0], [0.0, -1.0]], [[1.0, 0.0], [0.0, 0.5]])
+
+    def test_rejects_negative_d1(self):
+        with pytest.raises(ValueError):
+            validate_map([[-1.0, 0.5], [0.5, -1.0]], [[0.7, -0.2], [0.2, 0.3]])
+
+    def test_rejects_positive_d0_diagonal(self):
+        with pytest.raises(ValueError):
+            validate_map([[1.0, 0.0], [0.0, -1.0]], [[-1.0, 0.0], [0.0, 1.0]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            validate_map([[-1.0, 0.5]], [[0.5, 0.0]])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            validate_map([[-1.0]], [[0.5, 0.5], [0.5, 0.5]])
+
+
+class TestPoissonSpecialCase:
+    def test_mean(self, poisson_map):
+        assert poisson_map.mean() == pytest.approx(0.5)
+
+    def test_scv_is_one(self, poisson_map):
+        assert poisson_map.scv() == pytest.approx(1.0)
+
+    def test_index_of_dispersion_is_one(self, poisson_map):
+        assert poisson_map.index_of_dispersion() == pytest.approx(1.0)
+
+    def test_autocorrelation_is_zero(self, poisson_map):
+        assert poisson_map.autocorrelation(1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fundamental_rate(self, poisson_map):
+        assert poisson_map.fundamental_rate == pytest.approx(2.0)
+
+    def test_counting_variance_equals_mean(self, poisson_map):
+        mean, variance = poisson_map.counting_moments(10.0)
+        assert mean == pytest.approx(20.0)
+        assert variance == pytest.approx(20.0, rel=1e-6)
+
+
+class TestRenewalMap:
+    def test_index_equals_scv(self, renewal_h2_map):
+        assert renewal_h2_map.index_of_dispersion() == pytest.approx(
+            renewal_h2_map.scv(), rel=1e-6
+        )
+
+    def test_autocorrelations_vanish(self, renewal_h2_map):
+        assert np.allclose(renewal_h2_map.autocorrelations(5), 0.0, atol=1e-9)
+
+    def test_mean_and_scv(self, renewal_h2_map):
+        assert renewal_h2_map.mean() == pytest.approx(1.0, rel=1e-9)
+        assert renewal_h2_map.scv() == pytest.approx(3.0, rel=1e-9)
+
+
+class TestBurstyMap:
+    def test_marginal_preserved(self, bursty_map):
+        assert bursty_map.mean() == pytest.approx(1.0, rel=1e-9)
+        assert bursty_map.scv() == pytest.approx(3.0, rel=1e-9)
+
+    def test_positive_autocorrelation(self, bursty_map):
+        assert bursty_map.autocorrelation(1) > 0.1
+
+    def test_autocorrelation_decays_geometrically(self, bursty_map):
+        rho = bursty_map.autocorrelations(4)
+        decay = bursty_map.autocorrelation_decay()
+        assert rho[1] == pytest.approx(rho[0] * decay, rel=1e-6)
+        assert rho[2] == pytest.approx(rho[0] * decay**2, rel=1e-6)
+
+    def test_interval_and_counts_dispersion_agree(self, bursty_map):
+        interval_based = bursty_map.index_of_dispersion()
+        counts_based = bursty_map.asymptotic_index_of_dispersion_counts()
+        assert interval_based == pytest.approx(counts_based, rel=1e-6)
+
+    def test_finite_time_dispersion_converges(self, bursty_map):
+        asymptotic = bursty_map.index_of_dispersion()
+        finite = bursty_map.index_of_dispersion_counts(5e4)
+        assert finite == pytest.approx(asymptotic, rel=0.05)
+
+    def test_finite_time_dispersion_increasing(self, bursty_map):
+        small = bursty_map.index_of_dispersion_counts(10.0)
+        large = bursty_map.index_of_dispersion_counts(1000.0)
+        assert large > small
+
+    def test_dispersion_exceeds_scv(self, bursty_map):
+        assert bursty_map.index_of_dispersion() > bursty_map.scv()
+
+    def test_interarrival_cdf_monotone(self, bursty_map):
+        xs = np.linspace(0.01, 20.0, 50)
+        values = bursty_map.interarrival_cdf(xs)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_percentile_inverts_cdf(self, bursty_map):
+        p95 = bursty_map.interarrival_percentile(0.95)
+        assert bursty_map.interarrival_cdf(p95) == pytest.approx(0.95, abs=1e-6)
+
+    def test_scaled_preserves_dispersion(self, bursty_map):
+        scaled = bursty_map.scaled(10.0)
+        assert scaled.mean() == pytest.approx(10.0 * bursty_map.mean(), rel=1e-9)
+        assert scaled.index_of_dispersion() == pytest.approx(
+            bursty_map.index_of_dispersion(), rel=1e-9
+        )
+
+    def test_scaled_rejects_nonpositive_factor(self, bursty_map):
+        with pytest.raises(ValueError):
+            bursty_map.scaled(0.0)
+
+    def test_summary_keys(self, bursty_map):
+        summary = bursty_map.summary()
+        for key in ("mean", "scv", "index_of_dispersion", "lag1_autocorrelation"):
+            assert key in summary
+
+    def test_deviation_matrix_properties(self, bursty_map):
+        deviation = bursty_map.deviation_matrix
+        theta = bursty_map.theta
+        # Q D = 1 theta - I and theta D = 0.
+        expected = np.outer(np.ones(2), theta) - np.eye(2)
+        assert np.allclose(bursty_map.generator @ deviation, expected, atol=1e-8)
+        assert np.allclose(theta @ deviation, 0.0, atol=1e-8)
+
+
+class TestMoments:
+    def test_moment_requires_positive_order(self, poisson_map):
+        with pytest.raises(ValueError):
+            poisson_map.moment(0)
+
+    def test_joint_moment_requires_positive_lag(self, poisson_map):
+        with pytest.raises(ValueError):
+            poisson_map.joint_moment(0)
+
+    def test_mean_is_reciprocal_of_rate(self, bursty_map):
+        assert bursty_map.mean() == pytest.approx(1.0 / bursty_map.fundamental_rate, rel=1e-9)
+
+    def test_higher_dispersion_for_slower_decay(self):
+        low = map2_from_moments_and_decay(1.0, 3.0, 0.5)
+        high = map2_from_moments_and_decay(1.0, 3.0, 0.99)
+        assert high.index_of_dispersion() > low.index_of_dispersion()
+
+    def test_counting_moments_require_positive_time(self, poisson_map):
+        with pytest.raises(ValueError):
+            poisson_map.counting_moments(0.0)

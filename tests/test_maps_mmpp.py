@@ -1,0 +1,78 @@
+"""Unit tests for Markov-modulated Poisson processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.maps import MMPP2, mmpp2_from_rates
+
+
+class TestMMPP2:
+    def test_state_probabilities(self):
+        mmpp = MMPP2(rate1=10.0, rate2=1.0, switch12=0.1, switch21=0.4)
+        p1, p2 = mmpp.state_probabilities
+        assert p1 == pytest.approx(0.8)
+        assert p2 == pytest.approx(0.2)
+
+    def test_mean_rate(self):
+        mmpp = MMPP2(rate1=10.0, rate2=1.0, switch12=0.1, switch21=0.4)
+        assert mmpp.mean_rate() == pytest.approx(0.8 * 10.0 + 0.2 * 1.0)
+
+    def test_to_map_preserves_rate(self):
+        mmpp = MMPP2(rate1=10.0, rate2=1.0, switch12=0.1, switch21=0.4)
+        assert mmpp.to_map().fundamental_rate == pytest.approx(mmpp.mean_rate(), rel=1e-9)
+
+    def test_to_map_is_bursty(self):
+        mmpp = MMPP2(rate1=20.0, rate2=1.0, switch12=0.05, switch21=0.05)
+        assert mmpp.to_map().index_of_dispersion() > 5.0
+
+    def test_burstiness_ratio(self):
+        mmpp = MMPP2(rate1=20.0, rate2=4.0, switch12=1.0, switch21=1.0)
+        assert mmpp.burstiness_ratio() == pytest.approx(5.0)
+
+    def test_zero_slow_rate_gives_infinite_ratio(self):
+        mmpp = MMPP2(rate1=5.0, rate2=0.0, switch12=1.0, switch21=1.0)
+        assert mmpp.burstiness_ratio() == float("inf")
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            MMPP2(rate1=-1.0, rate2=1.0, switch12=1.0, switch21=1.0)
+
+    def test_rejects_both_rates_zero(self):
+        with pytest.raises(ValueError):
+            MMPP2(rate1=0.0, rate2=0.0, switch12=1.0, switch21=1.0)
+
+    def test_rejects_nonpositive_switching(self):
+        with pytest.raises(ValueError):
+            MMPP2(rate1=1.0, rate2=2.0, switch12=0.0, switch21=1.0)
+
+
+class TestMMPP2FromRates:
+    def test_mean_rate_matched(self):
+        mmpp = mmpp2_from_rates(mean_rate=50.0, rate_ratio=10.0, slow_fraction=0.2, mean_sojourn=60.0)
+        assert mmpp.mean_rate() == pytest.approx(50.0, rel=1e-9)
+
+    def test_slow_fraction_matched(self):
+        mmpp = mmpp2_from_rates(mean_rate=50.0, rate_ratio=10.0, slow_fraction=0.2, mean_sojourn=60.0)
+        assert mmpp.state_probabilities[1] == pytest.approx(0.2, rel=1e-9)
+
+    def test_longer_sojourn_is_burstier(self):
+        short = mmpp2_from_rates(10.0, 10.0, 0.3, 10.0).to_map().index_of_dispersion()
+        long = mmpp2_from_rates(10.0, 10.0, 0.3, 200.0).to_map().index_of_dispersion()
+        assert long > short
+
+    def test_rejects_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            mmpp2_from_rates(10.0, 0.5, 0.3, 10.0)
+
+    def test_rejects_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            mmpp2_from_rates(10.0, 2.0, 1.5, 10.0)
+
+    def test_rejects_invalid_sojourn(self):
+        with pytest.raises(ValueError):
+            mmpp2_from_rates(10.0, 2.0, 0.5, 0.0)
+
+    def test_rejects_invalid_mean_rate(self):
+        with pytest.raises(ValueError):
+            mmpp2_from_rates(0.0, 2.0, 0.5, 10.0)

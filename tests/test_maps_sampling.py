@@ -1,0 +1,71 @@
+"""Tests for exact sampling from MAPs (empirical vs analytical descriptors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import sample_interarrival_times, sample_marked_ctmc
+from repro.traces.stats import autocorrelation
+
+
+class TestInterarrivalSampling:
+    def test_sample_mean_matches(self, bursty_map, rng):
+        samples = sample_interarrival_times(bursty_map, 20000, rng=rng)
+        assert samples.mean() == pytest.approx(bursty_map.mean(), rel=0.1)
+
+    def test_sample_scv_matches(self, bursty_map, rng):
+        samples = sample_interarrival_times(bursty_map, 20000, rng=rng)
+        scv = samples.var() / samples.mean() ** 2
+        assert scv == pytest.approx(bursty_map.scv(), rel=0.25)
+
+    def test_sample_lag1_autocorrelation_matches(self, bursty_map, rng):
+        samples = sample_interarrival_times(bursty_map, 30000, rng=rng)
+        assert autocorrelation(samples, 1) == pytest.approx(
+            bursty_map.autocorrelation(1), abs=0.06
+        )
+
+    def test_renewal_samples_uncorrelated(self, renewal_h2_map, rng):
+        samples = sample_interarrival_times(renewal_h2_map, 20000, rng=rng)
+        assert abs(autocorrelation(samples, 1)) < 0.05
+
+    def test_samples_positive(self, poisson_map, rng):
+        samples = sample_interarrival_times(poisson_map, 500, rng=rng)
+        assert np.all(samples > 0)
+
+    def test_requires_positive_size(self, poisson_map):
+        with pytest.raises(ValueError):
+            sample_interarrival_times(poisson_map, 0)
+
+    def test_initial_phase_respected(self, bursty_map, rng):
+        samples = sample_interarrival_times(bursty_map, 10, rng=rng, initial_phase=1)
+        assert samples.shape == (10,)
+
+    def test_deterministic_given_seed(self, bursty_map):
+        first = sample_interarrival_times(bursty_map, 100, rng=np.random.default_rng(7))
+        second = sample_interarrival_times(bursty_map, 100, rng=np.random.default_rng(7))
+        assert np.allclose(first, second)
+
+
+class TestMarkedCtmcSampling:
+    def test_event_times_within_horizon(self, poisson_map, rng):
+        times, phases = sample_marked_ctmc(poisson_map, horizon=50.0, rng=rng)
+        assert np.all(times <= 50.0)
+        assert times.shape == phases.shape
+
+    def test_event_rate_close_to_fundamental_rate(self, poisson_map, rng):
+        times, _ = sample_marked_ctmc(poisson_map, horizon=5000.0, rng=rng)
+        rate = len(times) / 5000.0
+        assert rate == pytest.approx(poisson_map.fundamental_rate, rel=0.1)
+
+    def test_event_times_sorted(self, bursty_map, rng):
+        times, _ = sample_marked_ctmc(bursty_map, horizon=200.0, rng=rng)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_requires_positive_horizon(self, poisson_map):
+        with pytest.raises(ValueError):
+            sample_marked_ctmc(poisson_map, horizon=0.0)
+
+    def test_phases_valid(self, bursty_map, rng):
+        _, phases = sample_marked_ctmc(bursty_map, horizon=100.0, rng=rng)
+        assert np.all((phases >= 0) & (phases < bursty_map.order))

@@ -1,0 +1,212 @@
+"""Tests for the monitoring substrate (windows, collectors, busy periods, regression)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitoring import (
+    BusyPeriod,
+    CountWindows,
+    ServerMonitor,
+    TimeWeightedWindows,
+    busy_periods_from_utilization,
+    estimate_service_demands,
+)
+
+
+class TestCountWindows:
+    def test_counts_fall_in_right_window(self):
+        windows = CountWindows(5.0)
+        windows.record(1.0)
+        windows.record(4.9)
+        windows.record(5.0)
+        series = windows.series(horizon=10.0)
+        assert np.allclose(series, [2.0, 1.0])
+
+    def test_horizon_pads_with_zeros(self):
+        windows = CountWindows(1.0)
+        windows.record(0.5)
+        assert windows.series(horizon=5.0).shape == (5,)
+
+    def test_horizon_truncates(self):
+        windows = CountWindows(1.0)
+        windows.record(7.5)
+        assert windows.series(horizon=2.0).shape == (2,)
+
+    def test_amount_parameter(self):
+        windows = CountWindows(1.0)
+        windows.record(0.5, amount=3.0)
+        assert windows.series(horizon=1.0)[0] == pytest.approx(3.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            CountWindows(0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            CountWindows(1.0).record(-1.0)
+
+
+class TestTimeWeightedWindows:
+    def test_interval_within_single_window(self):
+        windows = TimeWeightedWindows(1.0)
+        windows.record(0.2, 0.7, 2.0)
+        assert windows.series(horizon=1.0)[0] == pytest.approx(1.0)  # 0.5s * 2 / 1s
+
+    def test_interval_spanning_windows(self):
+        windows = TimeWeightedWindows(1.0)
+        windows.record(0.5, 2.5, 1.0)
+        series = windows.series(horizon=3.0)
+        assert np.allclose(series, [0.5, 1.0, 0.5])
+
+    def test_total_mass_conserved(self, rng):
+        windows = TimeWeightedWindows(1.0)
+        total = 0.0
+        clock = 0.0
+        for _ in range(200):
+            duration = rng.uniform(0.01, 2.0)
+            value = rng.uniform(0.0, 3.0)
+            windows.record(clock, clock + duration, value)
+            total += duration * value
+            clock += duration
+        series = windows.series(horizon=clock, normalize=False)
+        assert series.sum() == pytest.approx(total, rel=1e-9)
+
+    def test_unnormalized_series(self):
+        windows = TimeWeightedWindows(2.0)
+        windows.record(0.0, 2.0, 1.0)
+        assert windows.series(horizon=2.0, normalize=False)[0] == pytest.approx(2.0)
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWeightedWindows(1.0).record(2.0, 1.0, 1.0)
+
+
+class TestServerMonitor:
+    def test_utilization_series(self):
+        monitor = ServerMonitor("srv", utilization_window=1.0, completion_window=5.0)
+        monitor.record_busy(0.0, 0.5)
+        monitor.record_busy(1.0, 2.0)
+        series = monitor.series(horizon=5.0)
+        assert np.allclose(series.utilization, [0.5, 1.0, 0.0, 0.0, 0.0])
+
+    def test_completion_series_and_throughput(self):
+        monitor = ServerMonitor("srv", 1.0, 5.0)
+        for t in (0.5, 1.5, 2.5, 7.0):
+            monitor.record_completion(t)
+        series = monitor.series(horizon=10.0)
+        assert np.allclose(series.completions, [3.0, 1.0])
+        assert series.throughput == pytest.approx(0.4)
+
+    def test_mean_service_time_utilization_law(self):
+        monitor = ServerMonitor("srv", 1.0, 5.0)
+        monitor.record_busy(0.0, 2.0)
+        for t in np.linspace(0.1, 1.9, 10):
+            monitor.record_completion(float(t))
+        series = monitor.series(horizon=5.0)
+        assert series.mean_service_time == pytest.approx(0.2, rel=1e-9)
+
+    def test_completion_utilization_alignment(self):
+        monitor = ServerMonitor("srv", 1.0, 5.0)
+        monitor.record_busy(0.0, 5.0)
+        monitor.record_completion(2.0)
+        series = monitor.series(horizon=10.0)
+        aggregated = series.completion_utilization()
+        assert aggregated.shape == (2,)
+        assert aggregated[0] == pytest.approx(1.0)
+        assert series.aligned_completions().shape == (2,)
+
+    def test_queue_length_series(self):
+        monitor = ServerMonitor("srv", 1.0, 5.0)
+        monitor.record_queue_length(0.0, 1.0, 4.0)
+        series = monitor.series(horizon=2.0)
+        assert series.queue_length[0] == pytest.approx(4.0)
+        assert series.queue_length[1] == pytest.approx(0.0)
+
+    def test_window_constraint(self):
+        with pytest.raises(ValueError):
+            ServerMonitor("srv", utilization_window=5.0, completion_window=1.0)
+
+    def test_misaligned_windows_rejected(self):
+        monitor = ServerMonitor("srv", 1.0, 2.5)
+        series = monitor.series(horizon=5.0)
+        with pytest.raises(ValueError):
+            series.completion_utilization()
+
+
+class TestBusyPeriods:
+    def test_extraction(self):
+        utilizations = [0.0, 0.5, 0.8, 0.0, 0.3, 0.0]
+        completions = [0, 5, 8, 0, 3, 0]
+        periods = busy_periods_from_utilization(utilizations, 1.0, completions)
+        assert len(periods) == 2
+        first, second = periods
+        assert isinstance(first, BusyPeriod)
+        assert first.start_index == 1 and first.end_index == 2
+        assert first.busy_time == pytest.approx(1.3)
+        assert first.completions == pytest.approx(13)
+        assert second.num_windows == 1
+
+    def test_trailing_busy_period_closed(self):
+        periods = busy_periods_from_utilization([0.5, 0.5], 1.0)
+        assert len(periods) == 1
+        assert periods[0].num_windows == 2
+
+    def test_threshold(self):
+        periods = busy_periods_from_utilization([0.05, 0.5], 1.0, threshold=0.1)
+        assert len(periods) == 1
+        assert periods[0].start_index == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            busy_periods_from_utilization([0.5], 0.0)
+        with pytest.raises(ValueError):
+            busy_periods_from_utilization([0.5, 0.5], 1.0, completions=[1.0])
+
+
+class TestDemandRegression:
+    def test_recovers_known_demands(self, rng):
+        period = 5.0
+        demands = {"browse": 0.004, "order": 0.010}
+        counts = {
+            "browse": rng.integers(50, 200, 400).astype(float),
+            "order": rng.integers(10, 60, 400).astype(float),
+        }
+        utilization = (
+            demands["browse"] * counts["browse"] + demands["order"] * counts["order"]
+        ) / period
+        result = estimate_service_demands(utilization, counts, period, fit_background=False)
+        assert result.demand("browse") == pytest.approx(0.004, rel=1e-6)
+        assert result.demand("order") == pytest.approx(0.010, rel=1e-6)
+        assert result.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_background_utilization_recovered(self, rng):
+        period = 5.0
+        counts = {"all": rng.integers(50, 200, 300).astype(float)}
+        utilization = 0.05 + 0.002 * counts["all"] / period
+        result = estimate_service_demands(utilization, counts, period)
+        assert result.demand("all") == pytest.approx(0.002, rel=0.05)
+        assert result.background_utilization == pytest.approx(0.05, rel=0.1)
+
+    def test_noisy_regression_close(self, rng):
+        period = 5.0
+        counts = {"a": rng.integers(50, 500, 500).astype(float)}
+        utilization = np.clip(0.003 * counts["a"] / period + rng.normal(0, 0.01, 500), 0, 1)
+        result = estimate_service_demands(utilization, counts, period)
+        assert result.demand("a") == pytest.approx(0.003, rel=0.1)
+
+    def test_aggregate_demand(self):
+        result_demands = {"a": 0.01, "b": 0.02}
+        from repro.monitoring.regression import RegressionResult
+
+        result = RegressionResult(result_demands, 0.0, 0.0, 1.0)
+        assert result.aggregate_demand({"a": 3, "b": 1}) == pytest.approx(0.0125)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_service_demands([0.5, 0.5], {}, 1.0)
+        with pytest.raises(ValueError):
+            estimate_service_demands([0.5, 0.5], {"a": np.array([1.0])}, 1.0)
+        with pytest.raises(ValueError):
+            estimate_service_demands([0.5], {"a": np.array([1.0])}, 0.0)

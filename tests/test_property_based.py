@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.maps.map2 import map2_from_moments_and_decay
+from repro.maps.ph import hyperexp_rates_from_moments, hyperexponential_ph
+from repro.queueing.bounds import asymptotic_throughput_bounds, balanced_job_bounds
+from repro.queueing.mva import mva_closed_network
+from repro.simulation.trace_queue import simulate_gtrace1
+from repro.traces.burstiness import impose_burstiness
+from repro.monitoring.windows import TimeWeightedWindows
+
+# Strategies ----------------------------------------------------------------
+
+means = st.floats(min_value=1e-3, max_value=100.0, allow_nan=False, allow_infinity=False)
+scvs = st.floats(min_value=1.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+decays = st.floats(min_value=0.0, max_value=0.999, allow_nan=False, allow_infinity=False)
+
+
+class TestHyperexponentialProperties:
+    @given(mean=means, scv=scvs)
+    @settings(max_examples=60, deadline=None)
+    def test_moment_matching(self, mean, scv):
+        ph = hyperexponential_ph(mean, scv)
+        assert ph.mean() == pytest.approx(mean, rel=1e-6)
+        assert ph.scv() == pytest.approx(scv, rel=1e-6)
+
+    @given(mean=means, scv=scvs)
+    @settings(max_examples=60, deadline=None)
+    def test_rates_positive(self, mean, scv):
+        p1, rate1, rate2 = hyperexp_rates_from_moments(mean, scv)
+        assert 0 < p1 < 1
+        assert rate1 > 0 and rate2 > 0
+
+
+class TestMap2Properties:
+    @given(mean=means, scv=scvs, decay=decays)
+    @settings(max_examples=40, deadline=None)
+    def test_marginal_invariance(self, mean, scv, decay):
+        process = map2_from_moments_and_decay(mean, scv, decay)
+        assert process.mean() == pytest.approx(mean, rel=1e-6)
+        assert process.scv() == pytest.approx(scv, rel=1e-5)
+
+    @given(mean=means, scv=scvs, decay=decays)
+    @settings(max_examples=40, deadline=None)
+    def test_dispersion_at_least_scv(self, mean, scv, decay):
+        process = map2_from_moments_and_decay(mean, scv, decay)
+        assert process.index_of_dispersion() >= scv - 1e-6
+
+    @given(mean=means, scv=scvs, decay=decays)
+    @settings(max_examples=40, deadline=None)
+    def test_lag1_autocorrelation_bounded(self, mean, scv, decay):
+        process = map2_from_moments_and_decay(mean, scv, decay)
+        rho1 = process.autocorrelation(1)
+        assert -1e-9 <= rho1 <= 0.5 + 1e-9  # two-phase MAPs cannot exceed 0.5
+
+
+class TestMVAProperties:
+    @given(
+        demand_front=st.floats(min_value=1e-4, max_value=0.5),
+        demand_db=st.floats(min_value=1e-4, max_value=0.5),
+        think=st.floats(min_value=0.0, max_value=10.0),
+        population=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_within_bounds(self, demand_front, demand_db, think, population):
+        demands = [demand_front, demand_db]
+        x = mva_closed_network(demands, think, population).throughput_at(population)
+        asym = asymptotic_throughput_bounds(demands, think, population)
+        bjb = balanced_job_bounds(demands, think, population)
+        assert asym.contains(x, slack=1e-6)
+        assert bjb.lower <= x * (1 + 1e-6)
+        assert x <= bjb.upper * (1 + 1e-6)
+
+    @given(
+        demand=st.floats(min_value=1e-3, max_value=0.2),
+        think=st.floats(min_value=0.1, max_value=5.0),
+        population=st.integers(min_value=2, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_customers_conserved(self, demand, think, population):
+        result = mva_closed_network([demand, demand / 2], think, population)
+        x = result.throughput_at(population)
+        total = result.queue_length_at(population).sum() + x * think
+        assert total == pytest.approx(population, rel=1e-6)
+
+
+class TestBurstinessReorderingProperties:
+    @given(
+        num_bursts=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_reordering_is_permutation(self, num_bursts, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.exponential(1.0, 500)
+        reordered = impose_burstiness(samples, num_bursts, rng=rng)
+        assert np.allclose(np.sort(reordered), np.sort(samples))
+
+
+class TestLindleyProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_response_at_least_service_and_nonnegative_waiting(self, seed):
+        rng = np.random.default_rng(seed)
+        service = rng.exponential(1.0, 300)
+        interarrival = rng.exponential(2.0, 300)
+        result = simulate_gtrace1(service, interarrival)
+        assert np.all(result.waiting_times >= -1e-12)
+        assert np.all(result.response_times >= service - 1e-12)
+
+    @given(scale=st.floats(min_value=0.1, max_value=10.0), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_time_scaling_invariance(self, scale, seed):
+        """Scaling all times by a constant scales response times by the same constant."""
+        rng = np.random.default_rng(seed)
+        service = rng.exponential(1.0, 200)
+        interarrival = rng.exponential(2.0, 200)
+        base = simulate_gtrace1(service, interarrival)
+        scaled = simulate_gtrace1(service * scale, interarrival * scale)
+        assert np.allclose(scaled.response_times, base.response_times * scale, rtol=1e-9)
+
+
+class TestWindowAccumulatorProperties:
+    @given(
+        window=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mass_conservation(self, window, seed):
+        rng = np.random.default_rng(seed)
+        accumulator = TimeWeightedWindows(window)
+        clock = 0.0
+        total = 0.0
+        for _ in range(50):
+            duration = float(rng.uniform(0.01, 3.0))
+            value = float(rng.uniform(0.0, 5.0))
+            accumulator.record(clock, clock + duration, value)
+            total += duration * value
+            clock += duration
+        series = accumulator.series(horizon=clock, normalize=False)
+        assert series.sum() == pytest.approx(total, rel=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the exact CTMC solver of the closed MAP queueing network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import map2_exponential, map2_from_moments_and_decay, map2_hyperexponential_renewal
+from repro.queueing import (
+    MapClosedNetworkSolver,
+    asymptotic_throughput_bounds,
+    mva_closed_network,
+    solve_map_closed_network,
+)
+
+
+class TestExponentialAgreementWithMVA:
+    """With exponential service the network is product-form: the exact CTMC
+    solution must coincide with MVA for every metric."""
+
+    @pytest.mark.parametrize("population", [1, 5, 20, 60])
+    def test_throughput_matches_mva(self, population):
+        front = map2_exponential(0.004)
+        database = map2_exponential(0.002)
+        mva = mva_closed_network([0.004, 0.002], 0.5, population)
+        result = solve_map_closed_network(front, database, 0.5, population)
+        assert result.throughput == pytest.approx(mva.throughput_at(population), rel=1e-6)
+
+    def test_utilizations_match_mva(self):
+        population = 40
+        front = map2_exponential(0.006)
+        database = map2_exponential(0.003)
+        mva = mva_closed_network([0.006, 0.003], 0.5, population)
+        result = solve_map_closed_network(front, database, 0.5, population)
+        expected = mva.utilization_at(population)
+        assert result.front_utilization == pytest.approx(expected[0], rel=1e-6)
+        assert result.db_utilization == pytest.approx(expected[1], rel=1e-6)
+
+    def test_queue_lengths_match_mva(self):
+        population = 30
+        front = map2_exponential(0.01)
+        database = map2_exponential(0.004)
+        mva = mva_closed_network([0.01, 0.004], 0.5, population)
+        result = solve_map_closed_network(front, database, 0.5, population)
+        expected = mva.queue_length_at(population)
+        assert result.front_queue_length == pytest.approx(expected[0], rel=1e-5)
+        assert result.db_queue_length == pytest.approx(expected[1], rel=1e-5)
+
+
+class TestStructuralProperties:
+    @pytest.fixture(scope="class")
+    def bursty_solver(self):
+        front = map2_exponential(0.004)
+        database = map2_from_moments_and_decay(0.003, 10.0, 0.99)
+        return MapClosedNetworkSolver(front, database, 0.5)
+
+    def test_customer_conservation(self, bursty_solver):
+        population = 40
+        result = bursty_solver.solve(population)
+        total = (
+            result.front_queue_length
+            + result.db_queue_length
+            + result.mean_customers_thinking
+        )
+        assert total == pytest.approx(population, rel=1e-8)
+
+    def test_littles_law_on_think_station(self, bursty_solver):
+        result = bursty_solver.solve(40)
+        # Customers thinking = X * Z.
+        assert result.mean_customers_thinking == pytest.approx(
+            result.throughput * 0.5, rel=1e-6
+        )
+
+    def test_utilization_law_front(self, bursty_solver):
+        result = bursty_solver.solve(40)
+        assert result.front_utilization == pytest.approx(result.throughput * 0.004, rel=1e-6)
+
+    def test_throughput_within_bounds(self, bursty_solver):
+        population = 60
+        result = bursty_solver.solve(population)
+        bounds = asymptotic_throughput_bounds([0.004, 0.003], 0.5, population)
+        assert result.throughput <= bounds.upper * (1 + 1e-9)
+        assert result.throughput > 0
+
+    def test_throughput_monotone_in_population(self, bursty_solver):
+        sweep = bursty_solver.solve_sweep([10, 30, 60])
+        throughputs = [r.throughput for r in sweep]
+        assert throughputs[0] < throughputs[1] <= throughputs[2] * 1.001
+
+    def test_response_time_from_littles_law(self, bursty_solver):
+        result = bursty_solver.solve(30)
+        expected = 30 / result.throughput - 0.5
+        assert result.response_time == pytest.approx(expected, rel=1e-9)
+
+    def test_num_states(self, bursty_solver):
+        result = bursty_solver.solve(10)
+        # (N+1)(N+2)/2 * k_front * k_db with k_front=1, k_db=2.
+        assert result.num_states == (11 * 12 // 2) * 1 * 2
+
+    def test_summary_keys(self, bursty_solver):
+        summary = bursty_solver.solve(10).summary()
+        for key in ("throughput", "front_utilization", "db_utilization", "response_time"):
+            assert key in summary
+
+
+class TestBurstinessEffect:
+    def test_bursty_service_reduces_throughput(self):
+        """At the same mean demands, a bursty database yields lower throughput
+        than an exponential one (the core claim behind Table 1 / Figure 12)."""
+        population = 80
+        front = map2_exponential(0.004)
+        exponential_db = map2_exponential(0.003)
+        bursty_db = map2_from_moments_and_decay(0.003, 50.0, 0.999)
+        base = solve_map_closed_network(front, exponential_db, 0.5, population)
+        bursty = solve_map_closed_network(front, bursty_db, 0.5, population)
+        assert bursty.throughput < base.throughput * 0.95
+
+    def test_more_burstiness_means_less_throughput(self):
+        population = 60
+        front = map2_exponential(0.004)
+        mild = map2_from_moments_and_decay(0.003, 5.0, 0.9)
+        severe = map2_from_moments_and_decay(0.003, 200.0, 0.999)
+        x_mild = solve_map_closed_network(front, mild, 0.5, population).throughput
+        x_severe = solve_map_closed_network(front, severe, 0.5, population).throughput
+        assert x_severe < x_mild
+
+    def test_renewal_high_scv_between_exponential_and_bursty(self):
+        population = 60
+        front = map2_exponential(0.004)
+        expo = solve_map_closed_network(front, map2_exponential(0.003), 0.5, population)
+        renewal = solve_map_closed_network(
+            front, map2_hyperexponential_renewal(0.003, 20.0), 0.5, population
+        )
+        bursty = solve_map_closed_network(
+            front, map2_from_moments_and_decay(0.003, 200.0, 0.999), 0.5, population
+        )
+        assert bursty.throughput < renewal.throughput <= expo.throughput * 1.001
+
+
+class TestValidation:
+    def test_rejects_negative_think_time(self):
+        with pytest.raises(ValueError):
+            MapClosedNetworkSolver(map2_exponential(1.0), map2_exponential(1.0), -1.0)
+
+    def test_rejects_zero_population(self):
+        solver = MapClosedNetworkSolver(map2_exponential(1.0), map2_exponential(1.0), 0.5)
+        with pytest.raises(ValueError):
+            solver.solve(0)
+
+    def test_zero_think_time_supported(self):
+        result = solve_map_closed_network(
+            map2_exponential(0.01), map2_exponential(0.005), 0.0, 5
+        )
+        # With zero think time the front server is saturated by 5 customers.
+        assert result.throughput == pytest.approx(100.0, rel=0.05)

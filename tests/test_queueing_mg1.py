@@ -1,0 +1,70 @@
+"""Tests for the single-station reference formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queueing import heavy_traffic_mean_waiting_time, mg1_mean_response_time, mm1_metrics
+
+
+class TestMM1:
+    def test_textbook_values(self):
+        metrics = mm1_metrics(arrival_rate=1.0, service_rate=2.0)
+        assert metrics.utilization == pytest.approx(0.5)
+        assert metrics.mean_queue_length == pytest.approx(1.0)
+        assert metrics.mean_response_time == pytest.approx(1.0)
+        assert metrics.mean_waiting_time == pytest.approx(0.5)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_metrics(2.0, 2.0)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_metrics(-1.0, 2.0)
+
+
+class TestMG1:
+    def test_reduces_to_mm1_for_scv_one(self):
+        mg1 = mg1_mean_response_time(1.0, 0.5, 1.0)
+        mm1 = mm1_metrics(1.0, 2.0).mean_response_time
+        assert mg1 == pytest.approx(mm1, rel=1e-9)
+
+    def test_deterministic_service_halves_waiting(self):
+        deterministic = mg1_mean_response_time(1.0, 0.5, 0.0)
+        exponential = mg1_mean_response_time(1.0, 0.5, 1.0)
+        waiting_det = deterministic - 0.5
+        waiting_exp = exponential - 0.5
+        assert waiting_det == pytest.approx(waiting_exp / 2.0, rel=1e-9)
+
+    def test_response_grows_with_scv(self):
+        low = mg1_mean_response_time(1.0, 0.5, 1.0)
+        high = mg1_mean_response_time(1.0, 0.5, 10.0)
+        assert high > low
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_mean_response_time(3.0, 0.5, 1.0)
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_mean_response_time(1.0, 0.5, -1.0)
+
+
+class TestHeavyTraffic:
+    def test_reduces_to_mm1_waiting(self):
+        waiting = heavy_traffic_mean_waiting_time(1.0, 0.5, 1.0, 1.0)
+        assert waiting == pytest.approx(mm1_metrics(1.0, 2.0).mean_waiting_time, rel=1e-9)
+
+    def test_waiting_linear_in_dispersion(self):
+        base = heavy_traffic_mean_waiting_time(1.0, 0.5, 1.0, 1.0)
+        bursty = heavy_traffic_mean_waiting_time(1.0, 0.5, 1.0, 99.0)
+        assert bursty == pytest.approx(base * 50.0, rel=1e-9)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            heavy_traffic_mean_waiting_time(3.0, 0.5)
+
+    def test_negative_dispersion_rejected(self):
+        with pytest.raises(ValueError):
+            heavy_traffic_mean_waiting_time(1.0, 0.5, -1.0, 1.0)

@@ -1,0 +1,107 @@
+"""Tests for the exact MVA solver and the closed-network bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    asymptotic_throughput_bounds,
+    balanced_job_bounds,
+    mva_closed_network,
+)
+
+
+class TestMVA:
+    def test_single_customer_no_queueing(self):
+        result = mva_closed_network([0.1, 0.2], think_time=0.7, population=1)
+        # With one customer there is no queueing: X = 1 / (Z + sum D).
+        assert result.throughput_at(1) == pytest.approx(1.0 / (0.7 + 0.3))
+
+    def test_saturation_limit(self):
+        result = mva_closed_network([0.05, 0.02], think_time=1.0, population=400)
+        assert result.throughput_at(400) == pytest.approx(1.0 / 0.05, rel=1e-3)
+
+    def test_throughput_monotone_nondecreasing(self):
+        result = mva_closed_network([0.03, 0.01], think_time=0.5, population=100)
+        assert np.all(np.diff(result.throughput) >= -1e-12)
+
+    def test_utilization_law(self):
+        result = mva_closed_network([0.03, 0.01], think_time=0.5, population=50)
+        x = result.throughput_at(50)
+        utilizations = result.utilization_at(50)
+        assert utilizations[0] == pytest.approx(min(1.0, x * 0.03), rel=1e-9)
+        assert utilizations[1] == pytest.approx(min(1.0, x * 0.01), rel=1e-9)
+
+    def test_littles_law_for_queue_lengths(self):
+        result = mva_closed_network([0.02, 0.04], think_time=0.3, population=30)
+        x = result.throughput_at(30)
+        response = result.response_times[29]
+        queues = result.queue_length_at(30)
+        assert np.allclose(queues, x * response, rtol=1e-9)
+
+    def test_customers_conserved(self):
+        population = 40
+        think = 0.5
+        result = mva_closed_network([0.02, 0.04], think_time=think, population=population)
+        x = result.throughput_at(population)
+        total = result.queue_length_at(population).sum() + x * think
+        assert total == pytest.approx(population, rel=1e-9)
+
+    def test_bottleneck_station(self):
+        result = mva_closed_network([0.02, 0.08, 0.01], think_time=0.5, population=10)
+        assert result.bottleneck_station() == 1
+
+    def test_zero_think_time_allowed(self):
+        result = mva_closed_network([0.1], think_time=0.0, population=5)
+        assert result.throughput_at(5) == pytest.approx(10.0, rel=1e-6)
+
+    def test_system_response_time(self):
+        result = mva_closed_network([0.1, 0.1], think_time=1.0, population=1)
+        assert result.system_response_time(1) == pytest.approx(0.2, rel=1e-9)
+
+    def test_population_out_of_range_rejected(self):
+        result = mva_closed_network([0.1], think_time=1.0, population=5)
+        with pytest.raises(ValueError):
+            result.throughput_at(6)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mva_closed_network([], 0.5, 10)
+        with pytest.raises(ValueError):
+            mva_closed_network([-0.1], 0.5, 10)
+        with pytest.raises(ValueError):
+            mva_closed_network([0.1], -0.5, 10)
+        with pytest.raises(ValueError):
+            mva_closed_network([0.1], 0.5, 0)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("population", [1, 10, 50, 200])
+    def test_mva_within_asymptotic_bounds(self, population):
+        demands = [0.03, 0.015]
+        think = 0.5
+        x = mva_closed_network(demands, think, population).throughput_at(population)
+        bounds = asymptotic_throughput_bounds(demands, think, population)
+        assert bounds.contains(x, slack=1e-6)
+
+    @pytest.mark.parametrize("population", [1, 10, 50, 200])
+    def test_mva_within_balanced_job_bounds(self, population):
+        demands = [0.03, 0.015]
+        think = 0.5
+        x = mva_closed_network(demands, think, population).throughput_at(population)
+        bounds = balanced_job_bounds(demands, think, population)
+        assert bounds.lower <= x * (1 + 1e-6)
+        assert x <= bounds.upper * (1 + 1e-6)
+
+    def test_balanced_bounds_tighter_upper(self):
+        demands = [0.03, 0.015]
+        asym = asymptotic_throughput_bounds(demands, 0.5, 100)
+        bjb = balanced_job_bounds(demands, 0.5, 100)
+        assert bjb.upper <= asym.upper + 1e-9
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            asymptotic_throughput_bounds([], 0.5, 10)
+        with pytest.raises(ValueError):
+            balanced_job_bounds([0.1], -1.0, 10)

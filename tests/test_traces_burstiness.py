@@ -1,0 +1,107 @@
+"""Unit tests for burstiness shaping (reordering) of traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    calibrate_bursts_to_dispersion,
+    hyperexponential_samples,
+    impose_burstiness,
+    index_of_dispersion_counts,
+    shuffle_trace,
+)
+
+
+@pytest.fixture
+def base_samples(rng):
+    return hyperexponential_samples(20000, 1.0, 3.0, rng=rng)
+
+
+class TestShuffle:
+    def test_preserves_multiset(self, base_samples, rng):
+        shuffled = shuffle_trace(base_samples, rng=rng)
+        assert np.allclose(np.sort(shuffled), np.sort(base_samples))
+
+    def test_destroys_burstiness(self, base_samples, rng):
+        bursty = impose_burstiness(base_samples, 1, rng=rng)
+        reshuffled = shuffle_trace(bursty, rng=rng)
+        assert index_of_dispersion_counts(reshuffled) < 10.0
+
+
+class TestImposeBurstiness:
+    def test_preserves_multiset(self, base_samples, rng):
+        reordered = impose_burstiness(base_samples, 10, rng=rng)
+        assert np.allclose(np.sort(reordered), np.sort(base_samples))
+
+    def test_preserves_mean_and_scv(self, base_samples, rng):
+        reordered = impose_burstiness(base_samples, 5, rng=rng)
+        assert reordered.mean() == pytest.approx(base_samples.mean())
+        assert reordered.var() == pytest.approx(base_samples.var())
+
+    def test_single_burst_most_bursty(self, base_samples, rng):
+        single = index_of_dispersion_counts(impose_burstiness(base_samples, 1, rng=rng))
+        many = index_of_dispersion_counts(impose_burstiness(base_samples, 500, rng=rng))
+        assert single > 5 * many
+
+    def test_dispersion_decreases_with_bursts(self, base_samples, rng):
+        few = index_of_dispersion_counts(impose_burstiness(base_samples, 3, rng=rng))
+        many = index_of_dispersion_counts(impose_burstiness(base_samples, 300, rng=rng))
+        assert few > many
+
+    def test_rejects_zero_bursts(self, base_samples):
+        with pytest.raises(ValueError):
+            impose_burstiness(base_samples, 0)
+
+    def test_rejects_bad_quantile(self, base_samples):
+        with pytest.raises(ValueError):
+            impose_burstiness(base_samples, 3, threshold_quantile=1.5)
+
+    def test_rejects_tiny_traces(self):
+        with pytest.raises(ValueError):
+            impose_burstiness([1.0, 2.0], 1)
+
+    def test_constant_trace_handled(self, rng):
+        constant = np.full(1000, 2.0)
+        reordered = impose_burstiness(constant, 3, rng=rng)
+        assert np.allclose(np.sort(reordered), np.sort(constant))
+
+    def test_more_bursts_than_large_samples_clamped(self, base_samples, rng):
+        reordered = impose_burstiness(base_samples[:100], 10_000, rng=rng)
+        assert reordered.shape == (100,)
+
+
+class TestCalibration:
+    def test_hits_moderate_target(self, base_samples, rng):
+        target = 25.0
+        reordered, bursts = calibrate_bursts_to_dispersion(base_samples, target, rng=rng)
+        achieved = index_of_dispersion_counts(reordered)
+        assert achieved == pytest.approx(target, rel=0.4)
+        assert bursts >= 1
+
+    def test_hits_high_target(self, base_samples, rng):
+        target = 90.0
+        reordered, _ = calibrate_bursts_to_dispersion(base_samples, target, rng=rng)
+        achieved = index_of_dispersion_counts(reordered)
+        assert achieved == pytest.approx(target, rel=0.5)
+
+    def test_explicit_bursts_bypass_search(self, base_samples, rng):
+        reordered, bursts = calibrate_bursts_to_dispersion(
+            base_samples, None, num_bursts=4, rng=rng
+        )
+        assert bursts == 4
+        assert np.allclose(np.sort(reordered), np.sort(base_samples))
+
+    def test_requires_target_or_bursts(self, base_samples):
+        with pytest.raises(ValueError):
+            calibrate_bursts_to_dispersion(base_samples, None)
+
+    def test_rejects_nonpositive_target(self, base_samples):
+        with pytest.raises(ValueError):
+            calibrate_bursts_to_dispersion(base_samples, -5.0)
+
+    def test_unreachable_target_returns_single_burst(self, base_samples, rng):
+        reordered, bursts = calibrate_bursts_to_dispersion(base_samples, 1e9, rng=rng)
+        assert bursts == 1
+        assert np.allclose(np.sort(reordered), np.sort(base_samples))

@@ -1,0 +1,62 @@
+"""Tests for the long-range dependence (Hurst) diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import map2_from_moments_and_decay
+from repro.maps.sampling import sample_interarrival_times
+from repro.traces.longrange import aggregated_variance, hurst_aggregated_variance
+
+
+class TestAggregatedVariance:
+    def test_iid_variance_scales_inversely_with_block(self, rng):
+        samples = rng.exponential(1.0, 50_000)
+        variances = aggregated_variance(samples, [1, 10, 100])
+        assert variances[1] == pytest.approx(variances[0] / 10.0, rel=0.2)
+        assert variances[2] == pytest.approx(variances[0] / 100.0, rel=0.4)
+
+    def test_block_size_validation(self, rng):
+        samples = rng.exponential(1.0, 100)
+        with pytest.raises(ValueError):
+            aggregated_variance(samples, [60])
+        with pytest.raises(ValueError):
+            aggregated_variance(samples, [0])
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            aggregated_variance([1.0, 2.0], [1])
+
+
+class TestHurstEstimator:
+    def test_iid_trace_near_half(self, rng):
+        samples = rng.exponential(1.0, 60_000)
+        assert hurst_aggregated_variance(samples) == pytest.approx(0.5, abs=0.08)
+
+    def test_correlated_trace_above_half(self, rng):
+        process = map2_from_moments_and_decay(1.0, 3.0, 0.999)
+        samples = sample_interarrival_times(process, 40_000, rng=rng)
+        assert hurst_aggregated_variance(samples) > 0.6
+
+    def test_more_burstiness_higher_hurst(self, rng):
+        mild = sample_interarrival_times(
+            map2_from_moments_and_decay(1.0, 3.0, 0.9), 30_000, rng=np.random.default_rng(1)
+        )
+        strong = sample_interarrival_times(
+            map2_from_moments_and_decay(1.0, 3.0, 0.999), 30_000, rng=np.random.default_rng(1)
+        )
+        assert hurst_aggregated_variance(strong) > hurst_aggregated_variance(mild)
+
+    def test_result_clipped_to_unit_interval(self, rng):
+        samples = rng.exponential(1.0, 5_000)
+        assert 0.0 <= hurst_aggregated_variance(samples) <= 1.0
+
+    def test_constant_trace_returns_half(self):
+        assert hurst_aggregated_variance(np.full(1000, 2.0)) == pytest.approx(0.5)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            hurst_aggregated_variance(rng.exponential(1.0, 10))
+        with pytest.raises(ValueError):
+            hurst_aggregated_variance(rng.exponential(1.0, 100), num_scales=2)
