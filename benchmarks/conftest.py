@@ -22,55 +22,48 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.experiments import (
+    ExperimentRunner,
+    get_scenario,
+    sweep_points_by_mix,
+    testbed_runs_by_mix,
+)
+from repro.experiments.cli import format_table  # noqa: F401  (shared table renderer)
+from repro.experiments.registry import MODEL_THINK_TIME  # noqa: F401  (re-exported)
+from repro.experiments.registry import EB_VALUES as REGISTRY_EB_VALUES
 from repro.tpcw import (
     BROWSING_MIX,
     ORDERING_MIX,
     SHOPPING_MIX,
-    TestbedConfig,
-    TPCWTestbed,
     build_model_from_testbed,
     collect_monitoring_dataset,
-    run_eb_sweep,
 )
 
-EB_VALUES = [25, 50, 75, 100, 125, 150]
-SWEEP_DURATION = 400.0
-SWEEP_WARMUP = 40.0
-SWEEP_SEED = 7
-MODEL_THINK_TIME = 0.5
-
-
-def format_table(headers, rows) -> str:
-    """Plain-text table used by the benchmarks to print paper-style results."""
-    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(headers)]
-    lines = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rows:
-        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
+# The EB sweep axis of the fig4 scenario — the registry is the single source
+# of truth for the paper's experiment constants.
+EB_VALUES = list(REGISTRY_EB_VALUES)
 
 
 @pytest.fixture(scope="session")
-def eb_sweeps():
-    """Measured EB sweeps for the three mixes (Figure 4 / 10 / 12 input)."""
-    return {
-        mix.name: run_eb_sweep(
-            mix, EB_VALUES, duration=SWEEP_DURATION, warmup=SWEEP_WARMUP, seed=SWEEP_SEED
-        )
-        for mix in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX)
-    }
+def experiment_runner():
+    """Engine runner shared by the harness (parallel fan-out, rich artifacts)."""
+    return ExperimentRunner(keep_artifacts=True)
 
 
 @pytest.fixture(scope="session")
-def timeseries_runs():
+def eb_sweeps(experiment_runner):
+    """Measured EB sweeps for the three mixes (Figure 4 / 10 / 12 input).
+
+    Driven through the experiment engine: the ``fig4`` scenario spec defines
+    the populations, durations and the shared (common-random-numbers) seed.
+    """
+    return sweep_points_by_mix(experiment_runner.run(get_scenario("fig4")))
+
+
+@pytest.fixture(scope="session")
+def timeseries_runs(experiment_runner):
     """100-EB runs with per-second monitoring series (Figures 5-8)."""
-    runs = {}
-    for mix in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX):
-        config = TestbedConfig(
-            mix=mix, num_ebs=100, think_time=0.5, duration=300.0, warmup=30.0, seed=17
-        )
-        runs[mix.name] = TPCWTestbed(config).run()
-    return runs
+    return testbed_runs_by_mix(experiment_runner.run(get_scenario("fig5")))
 
 
 @pytest.fixture(scope="session")

@@ -13,6 +13,13 @@ prints a short report for each transaction mix:
 * which transaction types dominate the bursts (Figures 7 and 8),
 * the per-server index of dispersion estimated with the Figure-2 algorithm.
 
+The three 100-EB monitoring runs are one declarative scenario executed
+through the experiment engine (in parallel, one worker per mix) with
+artifacts kept so the per-second series are available.  The scenario is the
+registered ``fig5`` workload with a longer measurement window — the
+index-of-dispersion estimator needs more busy time than the benchmark
+harness's quick runs provide.
+
 Run with:  python examples/bottleneck_switch_detection.py
 """
 
@@ -21,23 +28,40 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import build_server_model
-from repro.tpcw import STANDARD_MIXES, TestbedConfig, TPCWTestbed
+from repro.experiments import (
+    ExperimentRunner,
+    ReplicationPolicy,
+    ScenarioSpec,
+    SolverSpec,
+    TestbedWorkload,
+    testbed_runs_by_mix,
+)
 from repro.tpcw.experiment import measurement_from_series
 
 
-def analyse_mix(mix_name: str) -> None:
-    mix = STANDARD_MIXES[mix_name]
-    config = TestbedConfig(
-        mix=mix, num_ebs=100, think_time=0.5, duration=600.0, warmup=60.0, seed=17
+def diagnosis_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bottleneck_switch",
+        description="100-EB monitoring runs for the Section-3 burstiness diagnosis",
+        workload=TestbedWorkload(
+            mixes=("browsing", "shopping", "ordering"),
+            populations=(100,),
+            think_time=0.5,
+            duration=600.0,
+            warmup=60.0,
+        ),
+        solvers=(SolverSpec(kind="testbed"),),
+        replication=ReplicationPolicy(base_seed=17, policy="shared"),
     )
-    run = TPCWTestbed(config).run()
 
+
+def analyse_mix(mix_name: str, run, duration: float) -> None:
     front_util = run.front.utilization
     db_util = run.database.utilization
     queue = run.database.queue_length
     switch_fraction = float(np.mean(db_util > front_util + 0.15))
 
-    print(f"--- {mix_name} mix (100 EBs, {config.duration:.0f} s measured) ---")
+    print(f"--- {mix_name} mix (100 EBs, {duration:.0f} s measured) ---")
     print(f"throughput                         : {run.throughput:.1f} tx/s")
     print(f"average utilisation (front / db)   : "
           f"{100 * front_util.mean():.1f} % / {100 * db_util.mean():.1f} %")
@@ -64,8 +88,11 @@ def analyse_mix(mix_name: str) -> None:
 
 
 def main() -> None:
+    spec = diagnosis_scenario()
+    result = ExperimentRunner(keep_artifacts=True).run(spec)
+    runs = testbed_runs_by_mix(result)
     for mix_name in ("browsing", "shopping", "ordering"):
-        analyse_mix(mix_name)
+        analyse_mix(mix_name, runs[mix_name], spec.workload.duration)
     print(
         "Only the browsing mix shows the combination the paper warns about: a large\n"
         "database index of dispersion together with a significant fraction of time in\n"

@@ -2,14 +2,11 @@
 """Capacity planning for the TPC-W testbed: MVA versus the MAP model (Figure 12).
 
 This is the paper's end-to-end evaluation in miniature, for one transaction
-mix (choose with --mix):
-
-1. measure the real (here: simulated) system for increasing numbers of
-   emulated browsers;
-2. parameterise the classical MVA model with mean service demands only;
-3. parameterise the MAP queueing network from the same monitoring data using
-   the index of dispersion and the 95th percentile of service times;
-4. compare both predictions against the measurements.
+mix (choose with --mix), driven entirely through the experiment engine: one
+declarative scenario describes the measured EB sweep, the MVA baseline and
+the burstiness-aware MAP model, and the parallel runner executes (and caches)
+the grid.  Run the script twice to see the second invocation served from the
+on-disk result cache.
 
 Run with:  python examples/capacity_planning_tpcw.py [--mix browsing|shopping|ordering]
 """
@@ -18,55 +15,61 @@ from __future__ import annotations
 
 import argparse
 
-from repro.tpcw import (
-    STANDARD_MIXES,
-    build_model_from_testbed,
-    collect_monitoring_dataset,
-    run_eb_sweep,
+from repro.experiments import (
+    EB_VALUES,
+    ExperimentRunner,
+    default_cache_dir,
+    tpcw_sweep_scenario,
 )
+from repro.tpcw import STANDARD_MIXES
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--mix", choices=sorted(STANDARD_MIXES), default="browsing")
-    parser.add_argument("--populations", type=int, nargs="+", default=[25, 50, 75, 100, 125, 150])
+    parser.add_argument("--populations", type=int, nargs="+", default=list(EB_VALUES))
     parser.add_argument("--duration", type=float, default=400.0,
                         help="measured seconds per sweep point (default 400)")
+    parser.add_argument("--no-cache", action="store_true", help="always re-run the scenario")
+    parser.add_argument("--jobs", type=int, default=None, help="parallel workers (default auto)")
     args = parser.parse_args()
-    mix = STANDARD_MIXES[args.mix]
 
-    print(f"=== measuring the simulated testbed ({args.mix} mix) ===")
-    sweep = run_eb_sweep(mix, args.populations, duration=args.duration, warmup=40.0, seed=7)
-    for point in sweep:
-        print(
-            f"  {point.num_ebs:>4} EBs: {point.throughput:7.1f} tx/s "
-            f"(front {100 * point.front_utilization:5.1f} %, "
-            f"db {100 * point.db_utilization:5.1f} %)"
-        )
+    # One declarative scenario: measured testbed sweep + both fitted models.
+    spec = tpcw_sweep_scenario(
+        f"capacity_{args.mix}",
+        mixes=(args.mix,),
+        populations=tuple(args.populations),
+        duration=args.duration,
+        with_models=True,
+        description=f"Capacity planning for the {args.mix} mix (measured vs MVA vs MAP)",
+    )
+    runner = ExperimentRunner(
+        cache_dir=None if args.no_cache else default_cache_dir(), jobs=args.jobs
+    )
+    result = runner.run(spec)
+    source = "served from cache" if result.from_cache else f"computed in {result.elapsed_seconds:.1f}s"
+    print(f"=== scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells, {source} ===")
 
-    print("\n=== parameterising the models from a 50-EB monitoring run ===")
-    dataset = collect_monitoring_dataset(
-        mix, num_ebs=50, think_time=0.5, duration=800.0, warmup=60.0, seed=21
-    )
-    model = build_model_from_testbed(dataset, model_think_time=0.5)
+    fitted = result.select(solver="fitted_map")[0]
     print(
-        f"  front   : mean {1000 * model.front.mean_service_time:.2f} ms, "
-        f"I = {model.front.index_of_dispersion:.1f}"
-    )
-    print(
-        f"  database: mean {1000 * model.database.mean_service_time:.2f} ms, "
-        f"I = {model.database.index_of_dispersion:.1f}"
+        f"fitted indices of dispersion: front I = "
+        f"{fitted.metric('front_index_of_dispersion'):.1f}, "
+        f"database I = {fitted.metric('db_index_of_dispersion'):.1f}"
     )
 
     print("\n=== predictions vs measurements ===")
     print(f"{'EBs':>5} {'measured':>10} {'MVA':>16} {'MAP model':>18}")
-    for point in sweep:
-        mva = model.mva_baseline(point.num_ebs).throughput_at(point.num_ebs)
-        map_based = model.predict(point.num_ebs).throughput
-        mva_error = 100 * abs(mva - point.throughput) / point.throughput
-        map_error = 100 * abs(map_based - point.throughput) / point.throughput
+    for population in args.populations:
+        measured = result.metric("throughput", solver="testbed",
+                                 mix=args.mix, population=population)
+        mva = result.metric("throughput", solver="fitted_mva",
+                            mix=args.mix, population=population)
+        map_based = result.metric("throughput", solver="fitted_map",
+                                  mix=args.mix, population=population)
+        mva_error = 100 * abs(mva - measured) / measured
+        map_error = 100 * abs(map_based - measured) / measured
         print(
-            f"{point.num_ebs:>5} {point.throughput:>10.1f} "
+            f"{population:>5} {measured:>10.1f} "
             f"{mva:>9.1f} ({mva_error:4.1f}%) {map_based:>10.1f} ({map_error:4.1f}%)"
         )
     print(

@@ -1,0 +1,68 @@
+"""Declarative scenario engine and parallel experiment runner.
+
+This subpackage turns the paper's evaluation (and any new study) into
+declarative, hashable scenario specs executed by a caching, multiprocessing
+runner:
+
+* :mod:`~repro.experiments.spec` — scenario specifications (workload,
+  solvers, replication/seeding) with dict/JSON round-trip and content hash,
+* :mod:`~repro.experiments.registry` — named paper scenarios (fig4–fig12,
+  table1) plus synthetic exploration grids,
+* :mod:`~repro.experiments.solvers` — execution of one grid cell against the
+  repository's analytical solvers, simulators and the TPC-W testbed,
+* :mod:`~repro.experiments.runner` — multiprocessing fan-out with
+  deterministic per-cell seeding and an on-disk JSON result cache,
+* :mod:`~repro.experiments.cli` — ``python -m repro.experiments run fig4``.
+"""
+
+from repro.experiments.adapters import sweep_points_by_mix, testbed_runs_by_mix
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.registry import (
+    EB_VALUES,
+    PAPER_SCENARIOS,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_descriptions,
+    tpcw_sweep_scenario,
+)
+from repro.experiments.results import CellResult, ExperimentResult
+from repro.experiments.runner import ExperimentRunner, run_scenario
+from repro.experiments.spec import (
+    Cell,
+    EstimationSpec,
+    MapSpec,
+    ReplicationPolicy,
+    ScenarioSpec,
+    SolverSpec,
+    SyntheticWorkload,
+    TestbedWorkload,
+    TraceWorkload,
+)
+
+__all__ = [
+    "Cell",
+    "CellResult",
+    "EB_VALUES",
+    "EstimationSpec",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "MapSpec",
+    "PAPER_SCENARIOS",
+    "ReplicationPolicy",
+    "ResultCache",
+    "ScenarioSpec",
+    "SolverSpec",
+    "SyntheticWorkload",
+    "TestbedWorkload",
+    "TraceWorkload",
+    "default_cache_dir",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_descriptions",
+    "sweep_points_by_mix",
+    "testbed_runs_by_mix",
+    "tpcw_sweep_scenario",
+]

@@ -1,0 +1,63 @@
+"""Adapters from engine results to the shapes older call-sites expect.
+
+The benchmark harness and the examples predate the experiment engine and
+consume paper-shaped objects (`SweepPoint` lists per mix, `TestbedResult`
+per mix).  These helpers rebuild those shapes from an
+:class:`~repro.experiments.results.ExperimentResult` produced with
+``keep_artifacts=True``, so the legacy consumers keep working unchanged
+while all experiment execution flows through the engine.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["sweep_points_by_mix", "testbed_runs_by_mix"]
+
+
+def sweep_points_by_mix(result: ExperimentResult, solver: str = "testbed"):
+    """``{mix: [SweepPoint, ...]}`` (population-ordered) from a testbed run.
+
+    Requires the run to have kept artifacts (the full
+    :class:`~repro.tpcw.testbed.TestbedResult` per cell).
+    """
+    from repro.tpcw.experiment import SweepPoint
+
+    sweeps: dict[str, list[SweepPoint]] = {}
+    for mix in result.axis_values("mix"):
+        rows = sorted(
+            result.select(solver=solver, mix=mix), key=lambda row: row.params["population"]
+        )
+        points = []
+        for row in rows:
+            if row.artifact is None:
+                raise ValueError(
+                    "sweep_points_by_mix needs testbed artifacts; run the scenario "
+                    "with keep_artifacts=True"
+                )
+            points.append(
+                SweepPoint(
+                    num_ebs=int(row.params["population"]),
+                    throughput=row.metric("throughput"),
+                    front_utilization=row.metric("front_utilization"),
+                    db_utilization=row.metric("db_utilization"),
+                    mean_response_time=row.metric("mean_response_time"),
+                    result=row.artifact,
+                )
+            )
+        sweeps[mix] = points
+    return sweeps
+
+
+def testbed_runs_by_mix(result: ExperimentResult, solver: str = "testbed"):
+    """``{mix: TestbedResult}`` for single-population testbed scenarios."""
+    runs = {}
+    for mix in result.axis_values("mix"):
+        row = result.one(solver=solver, mix=mix)
+        if row.artifact is None:
+            raise ValueError(
+                "testbed_runs_by_mix needs testbed artifacts; run the scenario "
+                "with keep_artifacts=True"
+            )
+        runs[mix] = row.artifact
+    return runs

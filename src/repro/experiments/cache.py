@@ -1,0 +1,64 @@
+"""On-disk JSON result cache keyed by scenario content hash.
+
+A cache entry is one JSON file per scenario run, named
+``<scenario-name>-<spec-hash>.json``.  Because the file name embeds the
+spec's content hash, editing any field of a scenario automatically misses
+the cache, while re-running an identical spec is served from disk.  The
+stored document embeds the spec and its hash, which :meth:`ResultCache.load`
+verifies before trusting the entry (a stale or hand-edited file is treated
+as a miss, never as silent corruption).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ScenarioSpec
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+_CACHE_ENV_VAR = "REPRO_EXPERIMENTS_CACHE"
+_DEFAULT_DIRNAME = ".experiments-cache"
+
+
+def default_cache_dir() -> Path:
+    """Cache directory: ``$REPRO_EXPERIMENTS_CACHE`` or ``./.experiments-cache``."""
+    return Path(os.environ.get(_CACHE_ENV_VAR, _DEFAULT_DIRNAME))
+
+
+class ResultCache:
+    """JSON file cache for :class:`ExperimentResult` documents."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+
+    def path(self, spec: ScenarioSpec) -> Path:
+        return self.directory / f"{spec.name}-{spec.hash()}.json"
+
+    def load(self, spec: ScenarioSpec) -> ExperimentResult | None:
+        """Return the cached result for ``spec``, or ``None`` on a miss."""
+        path = self.path(spec)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("spec_hash") != spec.hash():
+            return None
+        try:
+            return ExperimentResult.from_dict(payload, from_cache=True)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, result: ExperimentResult, spec: ScenarioSpec) -> Path:
+        """Write ``result`` for ``spec``; returns the cache file path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path(spec)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(result.to_json())
+        os.replace(tmp, path)
+        return path

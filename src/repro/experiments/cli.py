@@ -1,0 +1,165 @@
+"""Command-line interface of the experiment engine.
+
+::
+
+    python -m repro.experiments list
+    python -m repro.experiments show fig4
+    python -m repro.experiments run fig4 [--jobs N] [--force] [--no-cache]
+                                         [--cache-dir DIR] [--json]
+
+``run`` executes (or loads from the cache) a registered scenario and prints
+one table per solver.  The cache lives in ``./.experiments-cache`` unless
+overridden by ``--cache-dir`` or the ``REPRO_EXPERIMENTS_CACHE`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.cache import default_cache_dir
+from repro.experiments.registry import get_scenario, list_scenarios, scenario_descriptions
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["main", "format_table"]
+
+_PREFERRED_METRICS = (
+    "throughput",
+    "throughput_lower",
+    "throughput_upper",
+    "front_utilization",
+    "db_utilization",
+    "mean_response_time",
+    "response_time",
+    "p95_response_time",
+)
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text right-aligned table (shared with the benchmark output)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rows)) if rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run declarative capacity-planning experiment scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered scenarios")
+
+    show = commands.add_parser("show", help="print a scenario spec as JSON")
+    show.add_argument("scenario", help="registered scenario name")
+
+    run = commands.add_parser("run", help="run (or load from cache) a scenario")
+    run.add_argument("scenario", help="registered scenario name")
+    run.add_argument(
+        "--jobs", type=_positive_int, default=None, help="worker processes (default: auto)"
+    )
+    run.add_argument("--force", action="store_true", help="re-run even on a cache hit")
+    run.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
+    )
+    run.add_argument("--json", action="store_true", help="print the raw result JSON")
+    return parser
+
+
+def _cmd_list() -> int:
+    descriptions = scenario_descriptions()
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_show(spec) -> int:
+    print(spec.canonical_json())
+    print(f"# hash: {spec.hash()}  cells: {len(spec.cells())}", file=sys.stderr)
+    return 0
+
+
+def _metric_columns(result: ExperimentResult, solver: str) -> list[str]:
+    produced: dict[str, None] = {}
+    for row in result.select(solver=solver):
+        for metric in row.metrics:
+            produced.setdefault(metric, None)
+    ordered = [metric for metric in _PREFERRED_METRICS if metric in produced]
+    ordered += [metric for metric in produced if metric not in ordered]
+    return ordered[:6]
+
+
+def _print_result(result: ExperimentResult) -> None:
+    axis_names: dict[str, None] = {}
+    for row in result.rows:
+        for name in row.params:
+            axis_names.setdefault(name, None)
+    axes = list(axis_names)
+    replicated = any(row.replication > 0 for row in result.rows)
+    for solver in result.solvers():
+        metrics = _metric_columns(result, solver)
+        headers = axes + (["rep"] if replicated else []) + metrics
+        rows = []
+        for row in result.select(solver=solver):
+            line = [row.params.get(axis, "-") for axis in axes]
+            if replicated:
+                line.append(row.replication)
+            line += [
+                f"{row.metrics[m]:.4g}" if m in row.metrics else "-" for m in metrics
+            ]
+            rows.append(line)
+        print(f"--- solver: {solver} ---")
+        print(format_table(headers, rows))
+        print()
+
+
+def _cmd_run(args, spec) -> int:
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    runner = ExperimentRunner(cache_dir=cache_dir, jobs=args.jobs)
+    result = runner.run(spec, force=args.force)
+    if args.json:
+        print(result.to_json())
+    else:
+        source = "cache" if result.from_cache else f"computed in {result.elapsed_seconds:.1f}s"
+        print(f"scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells ({source})")
+        print()
+        _print_result(result)
+        if cache_dir is not None and not result.from_cache:
+            print(f"cached at {runner.cache.path(spec)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as error:
+        # Unknown scenario name: show the registry instead of a traceback.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.command == "show":
+        return _cmd_show(spec)
+    return _cmd_run(args, spec)

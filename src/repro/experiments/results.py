@@ -1,0 +1,151 @@
+"""Shared result schema of the experiment engine.
+
+Every cell of a scenario grid produces one :class:`CellResult` — the solver
+that ran, the cell's grid coordinates, the seed it used and a flat dictionary
+of scalar metrics.  A whole run is an :class:`ExperimentResult`, which embeds
+the spec it was produced from (and the spec's content hash, so a cached
+result can be checked against the spec that requests it).
+
+Rich per-cell artifacts (e.g. the full
+:class:`~repro.tpcw.testbed.TestbedResult` with its monitoring series) are
+kept in memory when the runner is asked to (``keep_artifacts=True``) but are
+never serialised: the JSON form carries scalar metrics only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["CellResult", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one grid cell."""
+
+    solver: str
+    kind: str
+    params: dict[str, Any]
+    replication: int
+    seed: int
+    metrics: dict[str, float]
+    artifact: Any = field(default=None, compare=False)
+
+    def metric(self, name: str) -> float:
+        if name not in self.metrics:
+            raise KeyError(
+                f"metric {name!r} not produced by solver {self.solver!r}; "
+                f"available: {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+    def without_artifact(self) -> "CellResult":
+        return self if self.artifact is None else replace(self, artifact=None)
+
+    def to_dict(self) -> dict:
+        return {
+            "solver": self.solver,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "replication": self.replication,
+            "seed": self.seed,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellResult":
+        return cls(
+            solver=payload["solver"],
+            kind=payload["kind"],
+            params=dict(payload["params"]),
+            replication=int(payload["replication"]),
+            seed=int(payload["seed"]),
+            metrics={k: float(v) for k, v in payload["metrics"].items()},
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All cell results of one scenario run, plus provenance."""
+
+    name: str
+    spec: dict
+    spec_hash: str
+    rows: tuple[CellResult, ...]
+    elapsed_seconds: float = 0.0
+    from_cache: bool = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def select(self, solver: str | None = None, **params) -> list[CellResult]:
+        """Rows matching the solver label and every given grid parameter."""
+        selected = []
+        for row in self.rows:
+            if solver is not None and row.solver != solver:
+                continue
+            if any(row.params.get(key) != value for key, value in params.items()):
+                continue
+            selected.append(row)
+        return selected
+
+    def one(self, solver: str | None = None, **params) -> CellResult:
+        """The unique row matching the query (raises otherwise)."""
+        rows = self.select(solver=solver, **params)
+        if len(rows) != 1:
+            raise LookupError(
+                f"expected exactly one row for solver={solver!r} params={params}, "
+                f"found {len(rows)}"
+            )
+        return rows[0]
+
+    def metric(self, metric: str, solver: str | None = None, **params) -> float:
+        """Scalar metric of the unique matching row."""
+        return self.one(solver=solver, **params).metric(metric)
+
+    def solvers(self) -> list[str]:
+        """Distinct solver labels, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.solver, None)
+        return list(seen)
+
+    def axis_values(self, name: str) -> list:
+        """Distinct values of one grid axis, in first-appearance order."""
+        seen: dict = {}
+        for row in self.rows:
+            if name in row.params:
+                seen.setdefault(row.params[name], None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "spec": self.spec,
+            "spec_hash": self.spec_hash,
+            "elapsed_seconds": self.elapsed_seconds,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict, from_cache: bool = False) -> "ExperimentResult":
+        return cls(
+            name=payload["name"],
+            spec=payload["spec"],
+            spec_hash=payload["spec_hash"],
+            rows=tuple(CellResult.from_dict(row) for row in payload["rows"]),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            from_cache=from_cache,
+        )
+
+    @classmethod
+    def from_json(cls, text: str, from_cache: bool = False) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text), from_cache=from_cache)

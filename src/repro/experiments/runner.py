@@ -1,0 +1,132 @@
+"""Parallel experiment runner with deterministic seeding and result caching.
+
+The runner expands a :class:`~repro.experiments.spec.ScenarioSpec` into its
+grid of cells and executes them, fanning out over a ``multiprocessing`` pool
+when the grid is large enough to benefit.  Results are bit-identical whether
+cells run serially or in parallel because every cell's seed is already fixed
+by the spec (see :meth:`ScenarioSpec.cells`), and ``Pool.map`` preserves cell
+order.
+
+With a cache directory configured, a finished run is written to disk keyed
+by the spec's content hash and an identical later run is served from the
+cache without executing anything (``result.from_cache`` tells which path was
+taken).  Cached documents carry scalar metrics only; runs that need rich
+artifacts (``keep_artifacts=True``, e.g. the benchmark harness, which wants
+the full monitoring series) always execute.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.results import CellResult, ExperimentResult
+from repro.experiments.solvers import execute_cell, warm_shared_inputs
+from repro.experiments.spec import Cell, ScenarioSpec
+
+__all__ = ["ExperimentRunner", "run_scenario"]
+
+_MAX_DEFAULT_JOBS = 8
+
+
+def _execute_payload(payload) -> CellResult:
+    """Worker entry point; reconstructs the spec/cell from plain dicts."""
+    spec_dict, cell_dict, keep_artifacts = payload
+    spec = ScenarioSpec.from_dict(spec_dict)
+    cell = Cell.from_dict(cell_dict)
+    result = execute_cell(spec, cell)
+    return result if keep_artifacts else result.without_artifact()
+
+
+class ExperimentRunner:
+    """Executes scenario grids; optionally parallel and cached.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the on-disk JSON cache; ``None`` disables caching.
+    jobs:
+        Worker processes for the fan-out.  ``None`` picks
+        ``min(cpu_count, 8, number of cells)``; ``1`` forces serial
+        execution in-process.
+    keep_artifacts:
+        Keep rich per-cell artifacts (e.g. full testbed results) on the
+        returned rows.  Artifact-bearing runs are never served from or
+        written to the cache, because artifacts do not survive JSON.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        jobs: int | None = None,
+        keep_artifacts: bool = False,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.jobs = jobs
+        self.keep_artifacts = keep_artifacts
+
+    def run(self, spec: ScenarioSpec, force: bool = False) -> ExperimentResult:
+        """Run (or load) the scenario; ``force=True`` bypasses the cache."""
+        use_cache = self.cache is not None and not self.keep_artifacts
+        if use_cache and not force:
+            cached = self.cache.load(spec)
+            if cached is not None:
+                return cached
+
+        cells = spec.cells()
+        started = time.perf_counter()
+        rows = self._execute(spec, cells)
+        result = ExperimentResult(
+            name=spec.name,
+            spec=spec.to_dict(),
+            spec_hash=spec.hash(),
+            rows=tuple(rows),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        if use_cache:
+            self.cache.store(result, spec)
+        return result
+
+    # ------------------------------------------------------------------
+    def _execute(self, spec: ScenarioSpec, cells: list[Cell]) -> list[CellResult]:
+        jobs = self._effective_jobs(len(cells))
+        if jobs <= 1:
+            results = [execute_cell(spec, cell) for cell in cells]
+            if not self.keep_artifacts:
+                results = [result.without_artifact() for result in results]
+            return results
+        # Build the expensive shared inputs once here; forked workers inherit
+        # the warmed caches instead of recomputing them per process.
+        warm_shared_inputs(spec, cells)
+        spec_dict = spec.to_dict()
+        payloads = [(spec_dict, cell.to_dict(), self.keep_artifacts) for cell in cells]
+        context = _pool_context()
+        with context.Pool(processes=jobs) as pool:
+            return pool.map(_execute_payload, payloads)
+
+    def _effective_jobs(self, num_cells: int) -> int:
+        if self.jobs is not None:
+            return min(self.jobs, num_cells)
+        return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_JOBS, num_cells))
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits ``sys.path``) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    cache_dir: str | os.PathLike | None = None,
+    jobs: int | None = None,
+    keep_artifacts: bool = False,
+    force: bool = False,
+) -> ExperimentResult:
+    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    runner = ExperimentRunner(cache_dir=cache_dir, jobs=jobs, keep_artifacts=keep_artifacts)
+    return runner.run(spec, force=force)

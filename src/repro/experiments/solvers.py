@@ -1,0 +1,319 @@
+"""Cell execution: map a (scenario, cell) pair onto the repro solvers.
+
+This module is the bridge between the declarative spec layer and the actual
+models of the repository.  Given one :class:`~repro.experiments.spec.Cell`
+it builds the workload the cell describes and evaluates it with the cell's
+solver, returning a :class:`~repro.experiments.results.CellResult` whose
+``metrics`` follow one shared schema:
+
+======================  =====================================================
+metric                  produced by
+======================  =====================================================
+``throughput``          ctmc, mva, simulation, testbed, fitted_map, fitted_mva
+``front_utilization``   ctmc, mva, simulation, testbed, fitted_map, fitted_mva
+``db_utilization``      ctmc, mva, simulation, testbed, fitted_map, fitted_mva
+``response_time``       ctmc, mva, fitted_map, fitted_mva (mean, excl. think)
+``mean_response_time``  testbed, mtrace1
+``*_queue_length``      ctmc, mva, simulation
+``throughput_lower``    bounds (balanced-job lower bound)
+``throughput_upper``    bounds (asymptotic/balanced upper bound)
+``p95_response_time``   mtrace1
+======================  =====================================================
+
+Expensive shared inputs (monitoring runs for fitted models, the Figure-1
+trace set) are memoised per process, so a multiprocessing worker pays for
+them once however many cells it executes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.experiments.results import CellResult
+from repro.experiments.spec import (
+    Cell,
+    ScenarioSpec,
+    SyntheticWorkload,
+    TestbedWorkload,
+    TraceWorkload,
+)
+
+__all__ = ["execute_cell", "warm_shared_inputs"]
+
+DEFAULT_SIM_HORIZON = 2000.0
+DEFAULT_SIM_WARMUP = 200.0
+
+
+def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
+    """Run one cell of the scenario grid and return its result."""
+    workload = spec.workload
+    if isinstance(workload, SyntheticWorkload):
+        metrics, artifact = _execute_synthetic(workload, cell)
+    elif isinstance(workload, TestbedWorkload):
+        metrics, artifact = _execute_testbed(workload, cell)
+    elif isinstance(workload, TraceWorkload):
+        metrics, artifact = _execute_trace(workload, cell)
+    else:  # pragma: no cover - spec validation prevents this
+        raise TypeError(f"unsupported workload type {type(workload)!r}")
+    return CellResult(
+        solver=cell.solver_label,
+        kind=cell.solver_kind,
+        params=dict(cell.params),
+        replication=cell.replication,
+        seed=cell.seed,
+        metrics={key: float(value) for key, value in metrics.items()},
+        artifact=artifact,
+    )
+
+
+def warm_shared_inputs(spec: ScenarioSpec, cells: list[Cell]) -> None:
+    """Precompute the expensive memoised inputs in the calling process.
+
+    The runner invokes this before forking its worker pool: the warmed
+    ``lru_cache`` entries (fitted models, the Figure-1 trace set) are then
+    inherited copy-on-write by every worker, so e.g. the 800-simulated-second
+    monitoring run behind a fitted model executes once per scenario rather
+    than once per worker.
+    """
+    workload = spec.workload
+    if isinstance(workload, TestbedWorkload) and workload.estimation is not None:
+        for cell in cells:
+            if cell.solver_kind in ("fitted_map", "fitted_mva"):
+                _fitted_model(**_fitted_model_args(workload, cell))
+    elif isinstance(workload, TraceWorkload):
+        _figure1_traces(workload.trace_size, workload.trace_seed)
+
+
+def _fitted_model_args(workload: TestbedWorkload, cell: Cell) -> dict:
+    """Canonical `_fitted_model` arguments (= its cache key) for one cell.
+
+    Shared by cell execution and the pre-fork cache warm-up: both must
+    resolve solver options identically or the warmed cache entry is missed
+    and every worker silently re-runs the monitoring experiment.
+    """
+    estimation = workload.estimation
+    if estimation is None:
+        raise ValueError(
+            f"scenario uses solver {cell.solver_kind!r} but its testbed workload "
+            "declares no estimation run"
+        )
+    return dict(
+        mix_name=str(cell.params["mix"]),
+        num_ebs=estimation.num_ebs,
+        think_time=float(cell.options.get("estimation_think_time", estimation.think_time)),
+        duration=float(cell.options.get("estimation_duration", estimation.duration)),
+        warmup=estimation.warmup,
+        seed=estimation.seed,
+        model_think_time=workload.think_time,
+    )
+
+
+# ----------------------------------------------------------------------
+# Synthetic closed MAP network
+# ----------------------------------------------------------------------
+def _execute_synthetic(workload: SyntheticWorkload, cell: Cell):
+    from repro.maps.map2 import map2_from_moments_and_decay
+    from repro.queueing.bounds import asymptotic_throughput_bounds, balanced_job_bounds
+    from repro.queueing.map_network import MapClosedNetworkSolver
+    from repro.queueing.mva import mva_closed_network
+    from repro.simulation.closed_network import simulate_closed_map_network
+
+    population = int(cell.params["population"])
+    front = workload.front.build()
+    db = map2_from_moments_and_decay(
+        workload.db_mean, float(cell.params["db_scv"]), float(cell.params["db_decay"])
+    )
+    think = workload.think_time
+
+    if cell.solver_kind == "ctmc":
+        result = MapClosedNetworkSolver(front, db, think).solve(population)
+        return (
+            {
+                "throughput": result.throughput,
+                "response_time": result.response_time,
+                "front_utilization": result.front_utilization,
+                "db_utilization": result.db_utilization,
+                "front_queue_length": result.front_queue_length,
+                "db_queue_length": result.db_queue_length,
+                "num_states": result.num_states,
+            },
+            None,
+        )
+    if cell.solver_kind == "mva":
+        demands = [front.mean(), workload.db_mean]
+        result = mva_closed_network(demands, think, population)
+        utilization = result.utilization_at(population)
+        queues = result.queue_length_at(population)
+        return (
+            {
+                "throughput": result.throughput_at(population),
+                "response_time": result.system_response_time(population),
+                "front_utilization": float(utilization[0]),
+                "db_utilization": float(utilization[1]),
+                "front_queue_length": float(queues[0]),
+                "db_queue_length": float(queues[1]),
+            },
+            None,
+        )
+    if cell.solver_kind == "bounds":
+        demands = [front.mean(), workload.db_mean]
+        asymptotic = asymptotic_throughput_bounds(demands, think, population)
+        balanced = balanced_job_bounds(demands, think, population)
+        return (
+            {
+                "throughput_lower": max(asymptotic.lower, balanced.lower),
+                "throughput_upper": min(asymptotic.upper, balanced.upper),
+            },
+            None,
+        )
+    if cell.solver_kind == "simulation":
+        horizon = float(cell.options.get("horizon", DEFAULT_SIM_HORIZON))
+        warmup = float(cell.options.get("warmup", DEFAULT_SIM_WARMUP))
+        result = simulate_closed_map_network(
+            front,
+            db,
+            think,
+            population,
+            horizon=horizon,
+            warmup=warmup,
+            rng=np.random.default_rng(cell.seed),
+        )
+        return (
+            {
+                "throughput": result.throughput,
+                "front_utilization": result.front_utilization,
+                "db_utilization": result.db_utilization,
+                "front_queue_length": result.front_queue_length,
+                "db_queue_length": result.db_queue_length,
+                "completed": result.completed,
+                "measured_time": result.measured_time,
+            },
+            None,
+        )
+    raise ValueError(
+        f"solver {cell.solver_kind!r} is not applicable to synthetic workloads"
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulated TPC-W testbed
+# ----------------------------------------------------------------------
+def _execute_testbed(workload: TestbedWorkload, cell: Cell):
+    from repro.tpcw.mixes import STANDARD_MIXES
+    from repro.tpcw.testbed import TestbedConfig, TPCWTestbed
+
+    mix_name = str(cell.params["mix"])
+    population = int(cell.params["population"])
+
+    if cell.solver_kind == "testbed":
+        config = TestbedConfig(
+            mix=STANDARD_MIXES[mix_name],
+            num_ebs=population,
+            think_time=workload.think_time,
+            duration=workload.duration,
+            warmup=workload.warmup,
+            seed=cell.seed,
+        )
+        result = TPCWTestbed(config).run()
+        return (
+            {
+                "throughput": result.throughput,
+                "front_utilization": result.front_utilization,
+                "db_utilization": result.db_utilization,
+                "mean_response_time": result.mean_response_time,
+                "completed": result.completed_transactions,
+            },
+            result,
+        )
+
+    if cell.solver_kind in ("fitted_map", "fitted_mva"):
+        model = _fitted_model(**_fitted_model_args(workload, cell))
+        if cell.solver_kind == "fitted_map":
+            prediction = model.predict(population)
+            return (
+                {
+                    "throughput": prediction.throughput,
+                    "response_time": prediction.response_time,
+                    "front_utilization": prediction.front_utilization,
+                    "db_utilization": prediction.db_utilization,
+                    "front_index_of_dispersion": model.front.index_of_dispersion,
+                    "db_index_of_dispersion": model.database.index_of_dispersion,
+                },
+                None,
+            )
+        mva = model.mva_baseline(population)
+        utilization = mva.utilization_at(population)
+        return (
+            {
+                "throughput": mva.throughput_at(population),
+                "response_time": mva.system_response_time(population),
+                "front_utilization": float(utilization[0]),
+                "db_utilization": float(utilization[1]),
+            },
+            None,
+        )
+    raise ValueError(f"solver {cell.solver_kind!r} is not applicable to testbed workloads")
+
+
+@lru_cache(maxsize=16)
+def _fitted_model(
+    mix_name: str,
+    num_ebs: int,
+    think_time: float,
+    duration: float,
+    warmup: float,
+    seed: int,
+    model_think_time: float,
+):
+    """Monitoring run + model fit, memoised per process."""
+    from repro.tpcw.experiment import build_model_from_testbed, collect_monitoring_dataset
+    from repro.tpcw.mixes import STANDARD_MIXES
+
+    dataset = collect_monitoring_dataset(
+        STANDARD_MIXES[mix_name],
+        num_ebs=num_ebs,
+        think_time=think_time,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+    return build_model_from_testbed(dataset, model_think_time=model_think_time)
+
+
+# ----------------------------------------------------------------------
+# Trace-driven open queue (Table 1)
+# ----------------------------------------------------------------------
+def _execute_trace(workload: TraceWorkload, cell: Cell):
+    from repro.simulation.trace_queue import simulate_mtrace1
+
+    if cell.solver_kind != "mtrace1":
+        raise ValueError(f"solver {cell.solver_kind!r} is not applicable to trace workloads")
+    trace = _figure1_trace(workload.trace_size, workload.trace_seed, str(cell.params["trace"]))
+    utilization = float(cell.params["utilization"])
+    result = simulate_mtrace1(
+        trace.samples, utilization, rng=np.random.default_rng(cell.seed)
+    )
+    return (
+        {
+            "mean_response_time": result.mean_response_time,
+            "p95_response_time": result.response_time_percentile(0.95),
+            "trace_index_of_dispersion": trace.index_of_dispersion,
+        },
+        None,
+    )
+
+
+@lru_cache(maxsize=4)
+def _figure1_traces(size: int, seed: int):
+    from repro.traces import figure1_traces
+
+    return figure1_traces(size=size, rng=np.random.default_rng(seed))
+
+
+def _figure1_trace(size: int, seed: int, label: str):
+    traces = _figure1_traces(size, seed)
+    if label not in traces:
+        raise ValueError(f"unknown Figure-1 trace {label!r}; available: {sorted(traces)}")
+    return traces[label]

@@ -26,7 +26,11 @@ from repro.queueing.mg1 import (
     mg1_mean_response_time,
     heavy_traffic_mean_waiting_time,
 )
-from repro.queueing.bounds import asymptotic_throughput_bounds, balanced_job_bounds
+from repro.queueing.bounds import (
+    ThroughputBounds,
+    asymptotic_throughput_bounds,
+    balanced_job_bounds,
+)
 
 __all__ = [
     "MVAResult",
@@ -39,6 +43,7 @@ __all__ = [
     "mm1_metrics",
     "mg1_mean_response_time",
     "heavy_traffic_mean_waiting_time",
+    "ThroughputBounds",
     "asymptotic_throughput_bounds",
     "balanced_job_bounds",
 ]

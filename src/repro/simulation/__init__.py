@@ -19,7 +19,7 @@ from repro.simulation.closed_network import (
     ClosedNetworkSimResult,
     simulate_closed_map_network,
 )
-from repro.simulation.random_streams import RandomStreams
+from repro.simulation.random_streams import RandomStreams, derive_seed, named_seed_sequence
 
 __all__ = [
     "EventQueue",
@@ -29,4 +29,6 @@ __all__ = [
     "ClosedNetworkSimResult",
     "simulate_closed_map_network",
     "RandomStreams",
+    "derive_seed",
+    "named_seed_sequence",
 ]

@@ -40,6 +40,8 @@ class ClosedNetworkSimResult:
     front_queue_length: float
     db_queue_length: float
     completed: int
+    warmup: float = 0.0
+    measured_time: float = 0.0
 
     def summary(self) -> dict:
         """Headline metrics (same keys as the analytical solver)."""
@@ -57,24 +59,29 @@ class _MapServiceState:
     """Incremental sampling of a MAP's completion process for one server."""
 
     def __init__(self, map_process: MAP, rng: np.random.Generator) -> None:
-        self.map = map_process
         self.rng = rng
         order = map_process.order
         self.phase = int(rng.choice(order, p=map_process.embedded_stationary))
-        self.total_rates = -np.diag(map_process.D0)
         self.order = order
+        self.mean_sojourns = -1.0 / np.diag(map_process.D0)
+        # Per-phase cumulative jump distribution over the 2K outcomes
+        # (K hidden D0 transitions, then K marked D1 transitions), precomputed
+        # so the hot loop is one exponential draw plus one searchsorted.
+        rates = -np.diag(map_process.D0)
+        hidden = np.maximum(map_process.D0, 0.0)
+        np.fill_diagonal(hidden, 0.0)
+        marked = np.maximum(map_process.D1, 0.0)
+        jump_probabilities = np.hstack([hidden, marked]) / rates[:, None]
+        self.jump_cdf = np.cumsum(jump_probabilities, axis=1)
 
     def sample_completion_interval(self) -> float:
         """Busy time until the next completion event, advancing the phase."""
         elapsed = 0.0
+        rng = self.rng
         while True:
-            rate = self.total_rates[self.phase]
-            elapsed += self.rng.exponential(1.0 / rate)
-            row_hidden = np.maximum(self.map.D0[self.phase].copy(), 0.0)
-            row_hidden[self.phase] = 0.0
-            row_marked = np.maximum(self.map.D1[self.phase], 0.0)
-            probabilities = np.concatenate([row_hidden, row_marked]) / rate
-            jump = int(self.rng.choice(2 * self.order, p=probabilities))
+            elapsed += rng.exponential(self.mean_sojourns[self.phase])
+            jump = int(np.searchsorted(self.jump_cdf[self.phase], rng.random(), side="right"))
+            jump = min(jump, 2 * self.order - 1)
             self.phase = jump % self.order
             if jump >= self.order:
                 return elapsed
@@ -111,6 +118,8 @@ def simulate_closed_map_network(
         raise ValueError("think_time must be positive for the simulator")
     if population < 1:
         raise ValueError("population must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
     if horizon <= warmup:
         raise ValueError("horizon must exceed warmup")
     if rng is None:
@@ -189,7 +198,11 @@ def simulate_closed_map_network(
             if clock >= warmup:
                 completed += 1
 
-    duration = measured_time if measured_time > 0 else (horizon - warmup)
+    # The loop intervals tile [0, horizon] exactly, so the accumulated
+    # measurement time equals horizon - warmup up to float rounding; the
+    # accumulated value is used as the denominator so that time-average and
+    # count estimates stay mutually consistent.
+    duration = measured_time
     return ClosedNetworkSimResult(
         population=population,
         think_time=think_time,
@@ -200,4 +213,6 @@ def simulate_closed_map_network(
         front_queue_length=area_front / duration,
         db_queue_length=area_db / duration,
         completed=completed,
+        warmup=warmup,
+        measured_time=measured_time,
     )

@@ -11,7 +11,27 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "derive_seed", "named_seed_sequence"]
+
+
+def named_seed_sequence(seed: int, name: str) -> np.random.SeedSequence:
+    """Deterministic child seed sequence for a named stream.
+
+    The child depends only on the root ``seed`` and the ``name`` (the name's
+    bytes form the spawn key), never on creation order — the property that
+    makes per-cell seeding in experiment grids reproducible and independent.
+    ``seed`` must be a concrete integer: ``None`` would draw fresh OS entropy
+    on every call, silently breaking the determinism promised here.
+    """
+    if seed is None:
+        raise ValueError("named_seed_sequence requires an integer seed, not None")
+    digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
+    return np.random.SeedSequence(entropy=seed, spawn_key=tuple(int(b) for b in digest))
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Deterministic integer seed for the named stream (e.g. a grid cell)."""
+    return int(named_seed_sequence(seed, name).generate_state(1, dtype=np.uint64)[0])
 
 
 class RandomStreams:
@@ -28,13 +48,7 @@ class RandomStreams:
         the name, independent of creation order.
         """
         if name not in self._streams:
-            # Derive a child seed deterministically from the name so that the
-            # stream does not depend on the order in which streams are asked for.
-            digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
-            child = np.random.SeedSequence(
-                entropy=self._seed_sequence.entropy,
-                spawn_key=tuple(int(b) for b in digest),
-            )
+            child = named_seed_sequence(self._seed_sequence.entropy, name)
             self._streams[name] = np.random.default_rng(child)
         return self._streams[name]
 

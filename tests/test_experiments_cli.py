@@ -1,0 +1,62 @@
+"""CLI surface: list / show / run with cache round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.cli import format_table, main
+
+
+class TestList:
+    def test_lists_all_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig4", "fig9", "fig12", "table1", "grid_burstiness"):
+            assert name in out
+
+
+class TestShow:
+    def test_show_prints_canonical_spec(self, capsys):
+        assert main(["show", "fig4"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["name"] == "fig4"
+        assert payload["workload"]["kind"] == "testbed"
+        assert "hash:" in captured.err
+
+
+class TestRun:
+    def test_run_then_cached_rerun(self, tmp_path, capsys):
+        args = ["run", "smoke", "--cache-dir", str(tmp_path), "--jobs", "1"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "computed" in first
+        assert "cached at" in first
+        assert "solver: ctmc" in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "(cache)" in second
+
+    def test_run_json_output(self, tmp_path, capsys):
+        assert main(["run", "smoke", "--cache-dir", str(tmp_path), "--jobs", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "smoke"
+        assert payload["rows"]
+
+    def test_run_no_cache(self, tmp_path, capsys):
+        assert main(["run", "smoke", "--no-cache", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cached at" not in out
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

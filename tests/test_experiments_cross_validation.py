@@ -1,0 +1,122 @@
+"""Simulation-vs-analytic cross-validation of the closed MAP network.
+
+The docstring of :mod:`repro.simulation.closed_network` claims that for any
+pair of service MAPs the simulated throughput and utilisations agree with the
+exact CTMC solution within statistical error.  This suite asserts that claim
+across qualitatively different MAP pairs (Poisson, high-variability renewal,
+strongly autocorrelated) — both by calling the simulator directly and by
+running a mixed ctmc+simulation scenario through the experiment engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    MapSpec,
+    ReplicationPolicy,
+    ScenarioSpec,
+    SolverSpec,
+    SyntheticWorkload,
+    run_scenario,
+)
+from repro.maps import (
+    map2_exponential,
+    map2_from_moments_and_decay,
+    map2_hyperexponential_renewal,
+)
+from repro.queueing import solve_map_closed_network
+from repro.simulation import simulate_closed_map_network
+
+THINK_TIME = 0.5
+POPULATION = 3
+HORIZON = 1200.0
+WARMUP = 150.0
+REPLICATIONS = 3
+
+MAP_PAIRS = {
+    "poisson": (map2_exponential(0.1), map2_exponential(0.15)),
+    "high_scv_renewal": (map2_hyperexponential_renewal(0.1, 4.0), map2_exponential(0.15)),
+    "bursty_db": (map2_exponential(0.1), map2_from_moments_and_decay(0.15, 4.0, 0.95)),
+    "both_bursty": (
+        map2_from_moments_and_decay(0.1, 3.0, 0.8),
+        map2_from_moments_and_decay(0.15, 6.0, 0.9),
+    ),
+}
+
+
+def averaged_simulation(front, db, base_seed: int):
+    runs = [
+        simulate_closed_map_network(
+            front,
+            db,
+            THINK_TIME,
+            POPULATION,
+            horizon=HORIZON,
+            warmup=WARMUP,
+            rng=np.random.default_rng(base_seed + index),
+        )
+        for index in range(REPLICATIONS)
+    ]
+    return {
+        "throughput": float(np.mean([run.throughput for run in runs])),
+        "front_utilization": float(np.mean([run.front_utilization for run in runs])),
+        "db_utilization": float(np.mean([run.db_utilization for run in runs])),
+        "db_queue_length": float(np.mean([run.db_queue_length for run in runs])),
+    }
+
+
+@pytest.mark.parametrize("pair_name", sorted(MAP_PAIRS))
+def test_simulation_matches_ctmc(pair_name):
+    front, db = MAP_PAIRS[pair_name]
+    exact = solve_map_closed_network(front, db, THINK_TIME, POPULATION)
+    simulated = averaged_simulation(front, db, base_seed=sum(pair_name.encode()))
+
+    assert simulated["throughput"] == pytest.approx(exact.throughput, rel=0.05), pair_name
+    assert simulated["front_utilization"] == pytest.approx(
+        exact.front_utilization, abs=0.03
+    ), pair_name
+    assert simulated["db_utilization"] == pytest.approx(exact.db_utilization, abs=0.03), pair_name
+    assert simulated["db_queue_length"] == pytest.approx(
+        exact.db_queue_length, rel=0.25, abs=0.1
+    ), pair_name
+
+
+def test_flow_balance_of_the_exact_solver():
+    """Sanity on the reference itself: utilisation law ties X to U for each server."""
+    front, db = MAP_PAIRS["bursty_db"]
+    exact = solve_map_closed_network(front, db, THINK_TIME, POPULATION)
+    # Utilisation law: U = X * mean service time (MAP service, busy-period based).
+    assert exact.front_utilization == pytest.approx(exact.throughput * front.mean(), rel=1e-6)
+    assert exact.db_utilization == pytest.approx(exact.throughput * db.mean(), rel=1e-6)
+
+
+def test_cross_validation_through_the_engine():
+    """The same agreement must hold when both solvers run as one scenario."""
+    spec = ScenarioSpec(
+        name="xval_engine",
+        description="ctmc vs simulation cross-check through the engine",
+        workload=SyntheticWorkload(
+            front=MapSpec(family="exponential", mean=0.1),
+            db_mean=0.15,
+            db_scv=(4.0,),
+            db_decay=(0.9,),
+            think_time=THINK_TIME,
+            populations=(POPULATION,),
+        ),
+        solvers=(
+            SolverSpec(kind="ctmc"),
+            SolverSpec(kind="simulation", options={"horizon": 2500.0, "warmup": 250.0}),
+        ),
+        replication=ReplicationPolicy(replications=4, base_seed=2008),
+    )
+    result = run_scenario(spec, jobs=2)
+    exact_x = result.metric("throughput", solver="ctmc", population=POPULATION)
+    sim_rows = result.select(solver="simulation", population=POPULATION)
+    assert len(sim_rows) == 4
+    sim_x = float(np.mean([row.metric("throughput") for row in sim_rows]))
+    assert sim_x == pytest.approx(exact_x, rel=0.05)
+    sim_u = float(np.mean([row.metric("db_utilization") for row in sim_rows]))
+    exact_u = result.metric("db_utilization", solver="ctmc", population=POPULATION)
+    assert sim_u == pytest.approx(exact_u, abs=0.03)

@@ -1,0 +1,91 @@
+"""Registry completeness and integrity of the named paper scenarios."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    PAPER_SCENARIOS,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_descriptions,
+    tpcw_sweep_scenario,
+)
+
+
+class TestCompleteness:
+    def test_every_paper_scenario_is_registered(self):
+        registered = set(list_scenarios())
+        missing = [name for name in PAPER_SCENARIOS if name not in registered]
+        assert not missing, f"paper scenarios missing from the registry: {missing}"
+
+    def test_paper_scenarios_cover_fig4_through_fig12_and_table1(self):
+        expected = {f"fig{i}" for i in range(4, 13)} | {"table1"}
+        assert expected == set(PAPER_SCENARIOS)
+
+    def test_synthetic_grids_are_registered(self):
+        registered = set(list_scenarios())
+        assert {"grid_burstiness", "grid_variability"} <= registered
+
+    def test_descriptions_are_nonempty(self):
+        for name, description in scenario_descriptions().items():
+            assert description.strip(), f"scenario {name} has an empty description"
+
+
+class TestIntegrity:
+    @pytest.fixture(params=sorted(set(list_scenarios())))
+    def spec(self, request) -> ScenarioSpec:
+        return get_scenario(request.param)
+
+    def test_name_matches_registry_key(self, spec):
+        assert spec.name in list_scenarios()
+
+    def test_round_trip_and_hash_stability(self, spec):
+        restored = ScenarioSpec.from_dict(json.loads(spec.canonical_json()))
+        assert restored == spec
+        assert restored.hash() == spec.hash()
+        assert get_scenario(spec.name).hash() == spec.hash()
+
+    def test_expands_to_cells(self, spec):
+        cells = spec.cells()
+        assert cells, f"scenario {spec.name} expands to an empty grid"
+        assert len({cell.key for cell in cells}) == len(cells)
+
+
+class TestRegistryBehaviour:
+    def test_unknown_scenario_mentions_alternatives(self):
+        with pytest.raises(KeyError, match="fig4"):
+            get_scenario("fig99")
+
+    def test_factories_return_fresh_objects(self):
+        assert get_scenario("fig4") is not get_scenario("fig4")
+
+    def test_register_scenario_validates_name(self):
+        register_scenario("misnamed", lambda: tpcw_sweep_scenario("other", mixes=("browsing",)))
+        try:
+            with pytest.raises(ValueError, match="misnamed"):
+                get_scenario("misnamed")
+        finally:
+            import repro.experiments.registry as registry_module
+
+            registry_module._REGISTRY.pop("misnamed", None)
+
+    def test_fig4_spec_matches_paper_constants(self):
+        spec = get_scenario("fig4")
+        assert spec.workload.populations == (25, 50, 75, 100, 125, 150)
+        assert spec.workload.duration == 400.0
+        assert spec.replication.policy == "shared"
+        assert spec.replication.base_seed == 7
+
+    def test_fig11_has_two_estimation_granularities(self):
+        spec = get_scenario("fig11")
+        z_values = {
+            solver.option("estimation_think_time")
+            for solver in spec.solvers
+            if solver.kind == "fitted_map"
+        }
+        assert z_values == {0.5, 7.0}

@@ -1,0 +1,122 @@
+"""Unit tests for the closed-network throughput bounds.
+
+The bounds back the paper's heavy-load discussion (Section 4.2) and serve as
+cheap cross-checks for the exact solvers, so they are validated both
+algebraically (limits, monotonicity, ordering) and against the exact MVA and
+CTMC solutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import map2_exponential
+from repro.queueing import (
+    ThroughputBounds,
+    asymptotic_throughput_bounds,
+    balanced_job_bounds,
+    mva_closed_network,
+    solve_map_closed_network,
+)
+
+DEMANDS = [0.03, 0.05]
+THINK = 0.4
+
+
+class TestThroughputBounds:
+    def test_contains(self):
+        bounds = ThroughputBounds(lower=1.0, upper=2.0)
+        assert bounds.contains(1.5)
+        assert bounds.contains(1.0) and bounds.contains(2.0)
+        assert not bounds.contains(2.5)
+
+    def test_contains_slack(self):
+        bounds = ThroughputBounds(lower=1.0, upper=2.0)
+        assert bounds.contains(2.0 + 1e-12)
+        assert bounds.contains(2.1, slack=0.2)
+
+
+class TestAsymptoticBounds:
+    def test_single_customer_bounds_are_tight(self):
+        bounds = asymptotic_throughput_bounds(DEMANDS, THINK, 1)
+        expected = 1.0 / (sum(DEMANDS) + THINK)
+        assert bounds.lower == pytest.approx(expected)
+        assert bounds.upper == pytest.approx(expected)
+
+    def test_saturation_upper_bound(self):
+        bounds = asymptotic_throughput_bounds(DEMANDS, THINK, 10_000)
+        assert bounds.upper == pytest.approx(1.0 / max(DEMANDS))
+
+    def test_lower_below_upper(self):
+        for population in (1, 2, 5, 20, 100):
+            bounds = asymptotic_throughput_bounds(DEMANDS, THINK, population)
+            assert bounds.lower <= bounds.upper + 1e-12
+
+    def test_upper_monotone_in_population_until_saturation(self):
+        uppers = [
+            asymptotic_throughput_bounds(DEMANDS, THINK, n).upper for n in range(1, 50)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(uppers, uppers[1:]))
+
+    def test_zero_demand_station_is_harmless(self):
+        bounds = asymptotic_throughput_bounds([0.0, 0.05], THINK, 10)
+        assert np.isfinite(bounds.upper)
+        assert bounds.upper <= 1.0 / 0.05 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            asymptotic_throughput_bounds([], THINK, 1)
+        with pytest.raises(ValueError):
+            asymptotic_throughput_bounds([-0.1], THINK, 1)
+        with pytest.raises(ValueError):
+            asymptotic_throughput_bounds(DEMANDS, -1.0, 1)
+        with pytest.raises(ValueError):
+            asymptotic_throughput_bounds(DEMANDS, THINK, 0)
+
+
+class TestBalancedJobBounds:
+    def test_single_customer_bounds_are_tight(self):
+        bounds = balanced_job_bounds(DEMANDS, THINK, 1)
+        expected = 1.0 / (sum(DEMANDS) + THINK)
+        assert bounds.lower == pytest.approx(expected)
+        assert bounds.upper == pytest.approx(expected)
+
+    def test_lower_bound_tighter_than_asymptotic(self):
+        for population in (2, 5, 20, 80):
+            balanced = balanced_job_bounds(DEMANDS, THINK, population)
+            asymptotic = asymptotic_throughput_bounds(DEMANDS, THINK, population)
+            assert balanced.lower >= asymptotic.lower - 1e-12
+            assert balanced.upper <= asymptotic.upper + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balanced_job_bounds([], THINK, 1)
+        with pytest.raises(ValueError):
+            balanced_job_bounds(DEMANDS, THINK, 0)
+
+
+class TestBoundsAgainstExactSolvers:
+    @pytest.mark.parametrize("population", [1, 3, 10, 40, 150])
+    def test_mva_throughput_within_both_bounds(self, population):
+        exact = mva_closed_network(DEMANDS, THINK, population).throughput_at(population)
+        assert asymptotic_throughput_bounds(DEMANDS, THINK, population).contains(exact)
+        assert balanced_job_bounds(DEMANDS, THINK, population).contains(exact)
+
+    def test_ctmc_with_exponential_maps_within_bounds(self):
+        front = map2_exponential(DEMANDS[0])
+        db = map2_exponential(DEMANDS[1])
+        for population in (1, 4, 12):
+            exact = solve_map_closed_network(front, db, THINK, population)
+            bounds = balanced_job_bounds(DEMANDS, THINK, population)
+            assert bounds.contains(exact.throughput, slack=1e-9), population
+
+    def test_bounds_bracket_saturated_regime(self):
+        population = 400
+        exact = mva_closed_network(DEMANDS, THINK, population).throughput_at(population)
+        bounds = balanced_job_bounds(DEMANDS, THINK, population)
+        assert bounds.contains(exact)
+        # At deep saturation the upper bound is the bottleneck rate and the
+        # exact throughput approaches it.
+        assert bounds.upper == pytest.approx(1.0 / max(DEMANDS))
+        assert exact == pytest.approx(bounds.upper, rel=0.01)

@@ -1,0 +1,129 @@
+"""Regression tests for the closed-network simulator's warmup accounting.
+
+The estimates must be taken over exactly the measurement window
+``[warmup, horizon]``: completions, busy time and queue-length area that fall
+in the warmup transient are excluded while the underlying dynamics (MAP
+residual consumption, phase evolution) still run through it.  These tests pin
+that behaviour, including the edge cases near ``horizon``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import map2_exponential, map2_from_moments_and_decay
+from repro.queueing import solve_map_closed_network
+from repro.simulation import simulate_closed_map_network
+
+FRONT = map2_exponential(0.1)
+DB = map2_from_moments_and_decay(0.15, 4.0, 0.9)
+
+
+def run(horizon, warmup, seed=0, front=FRONT, db=DB, population=3):
+    return simulate_closed_map_network(
+        front,
+        db,
+        0.5,
+        population,
+        horizon=horizon,
+        warmup=warmup,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestMeasurementWindow:
+    def test_measured_time_equals_window(self):
+        result = run(horizon=500.0, warmup=120.0)
+        assert result.measured_time == pytest.approx(500.0 - 120.0, rel=1e-9)
+        assert result.warmup == 120.0
+
+    def test_zero_warmup_measures_whole_horizon(self):
+        result = run(horizon=300.0, warmup=0.0)
+        assert result.measured_time == pytest.approx(300.0, rel=1e-9)
+
+    def test_completed_excludes_warmup_completions(self):
+        # Same seed: the trajectory is identical, only the counting window
+        # differs, so the warmup run must count strictly fewer completions.
+        full = run(horizon=400.0, warmup=0.0, seed=42)
+        trimmed = run(horizon=400.0, warmup=100.0, seed=42)
+        assert trimmed.completed < full.completed
+        # And the excluded count is roughly the warmup share of the window.
+        expected = full.completed * (300.0 / 400.0)
+        assert trimmed.completed == pytest.approx(expected, rel=0.2)
+
+    def test_rates_are_consistent_with_counts(self):
+        result = run(horizon=600.0, warmup=150.0)
+        assert result.throughput == pytest.approx(
+            result.completed / result.measured_time, rel=1e-12
+        )
+
+
+class TestWarmupRemovesBias:
+    def test_warmup_estimates_match_ctmc(self):
+        exact = solve_map_closed_network(FRONT, DB, 0.5, 3)
+        runs = [run(horizon=1500.0, warmup=300.0, seed=seed) for seed in range(4)]
+        throughput = np.mean([r.throughput for r in runs])
+        db_util = np.mean([r.db_utilization for r in runs])
+        assert throughput == pytest.approx(exact.throughput, rel=0.05)
+        assert db_util == pytest.approx(exact.db_utilization, abs=0.03)
+
+    def test_all_estimates_from_same_window(self):
+        # Utilisation and queue length are time averages over the same
+        # window, so the queue can never be smaller than the busy fraction.
+        result = run(horizon=800.0, warmup=200.0)
+        assert result.front_queue_length >= result.front_utilization - 1e-12
+        assert result.db_queue_length >= result.db_utilization - 1e-12
+
+
+class TestHorizonEdgeCases:
+    def test_tiny_measurement_window_is_finite(self):
+        result = run(horizon=200.002, warmup=200.0)
+        for value in (
+            result.throughput,
+            result.front_utilization,
+            result.db_utilization,
+            result.front_queue_length,
+            result.db_queue_length,
+        ):
+            assert np.isfinite(value)
+        assert 0.0 <= result.front_utilization <= 1.0
+        assert 0.0 <= result.db_utilization <= 1.0
+        assert result.front_queue_length <= 3.0 + 1e-9
+        assert result.completed >= 0
+
+    def test_event_free_window_counts_time_not_events(self):
+        # A very long think time makes an event in a short window unlikely;
+        # the denominator must still be the full measurement window.
+        front = map2_exponential(0.001)
+        db = map2_exponential(0.001)
+        result = simulate_closed_map_network(
+            front,
+            db,
+            1000.0,
+            1,
+            horizon=1.0,
+            warmup=0.5,
+            rng=np.random.default_rng(7),
+        )
+        assert result.measured_time == pytest.approx(0.5, rel=1e-9)
+        assert result.throughput == result.completed / result.measured_time
+
+    def test_queue_lengths_bounded_by_population(self):
+        result = run(horizon=400.0, warmup=50.0, population=5)
+        assert result.front_queue_length + result.db_queue_length <= 5.0 + 1e-9
+
+
+class TestValidation:
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            run(horizon=100.0, warmup=-1.0)
+
+    def test_warmup_equal_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            run(horizon=100.0, warmup=100.0)
+
+    def test_determinism_same_seed(self):
+        first = run(horizon=300.0, warmup=30.0, seed=9)
+        second = run(horizon=300.0, warmup=30.0, seed=9)
+        assert first == second
