@@ -1,0 +1,191 @@
+"""Microbenchmark of the closed MAP network pipeline → ``BENCH_solver.json``.
+
+Tracks the performance trajectory of the repository's hottest paths:
+
+* ``generator_build`` — vectorised Kronecker assembly vs the retained naive
+  per-state builder at N=100 with MAP(2) service at both stations,
+* ``exact_solve`` — full ``MapClosedNetworkSolver.solve`` wall time at a
+  ladder of populations (the N=500 entry is the headline number),
+* ``sweep`` — warm-started ``solve_sweep`` over the same ladder,
+* ``simulation`` — event-loop rate of the chunked-RNG simulator.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_solver.py --quick    # CI smoke
+
+The output document is committed as ``BENCH_solver.json`` so the numbers are
+versioned alongside the code that produced them; CI re-runs the quick grid on
+every push and uploads the fresh document as an artifact (tracked, not
+gated).  Refresh the committed file after touching the solver or simulator
+hot paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import time
+
+
+def _median_time(callable_, repeats: int) -> float:
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        timings.append(time.perf_counter() - started)
+    timings.sort()
+    return timings[len(timings) // 2]
+
+
+def bench_generator_build(population: int, repeats: int) -> dict:
+    """Naive vs Kronecker generator assembly at MAP(2) x MAP(2)."""
+    from repro.maps.map2 import map2_from_moments_and_decay
+    from repro.queueing.map_network import MapClosedNetworkSolver
+
+    front = map2_from_moments_and_decay(0.02, 4.0, 0.5)
+    db = map2_from_moments_and_decay(0.015, 4.0, 0.95)
+    solver = MapClosedNetworkSolver(front, db, 0.5)
+    naive_seconds = _median_time(lambda: solver._build_generator_naive(population), repeats)
+    kron_seconds = _median_time(lambda: solver._build_generator(population), repeats)
+    return {
+        "population": population,
+        "num_states": solver.state_space(population).num_states,
+        "naive_seconds": naive_seconds,
+        "kron_seconds": kron_seconds,
+        "speedup": naive_seconds / kron_seconds,
+    }
+
+
+def bench_exact_solve(populations: list[int]) -> list[dict]:
+    """Full solve wall time per population (fresh solver each time)."""
+    from repro.maps.map2 import map2_from_moments_and_decay
+    from repro.queueing.map_network import MapClosedNetworkSolver
+
+    front = map2_from_moments_and_decay(0.02, 4.0, 0.5)
+    db = map2_from_moments_and_decay(0.015, 4.0, 0.95)
+    rows = []
+    for population in populations:
+        solver = MapClosedNetworkSolver(front, db, 0.5)
+        started = time.perf_counter()
+        result = solver.solve(population)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "population": population,
+                "num_states": result.num_states,
+                "seconds": elapsed,
+                "throughput": result.throughput,
+            }
+        )
+    return rows
+
+
+def bench_sweep(populations: list[int]) -> dict:
+    """Warm-started sweep over the whole ladder with one solver instance."""
+    from repro.maps.map2 import map2_from_moments_and_decay
+    from repro.queueing.map_network import MapClosedNetworkSolver
+
+    front = map2_from_moments_and_decay(0.02, 4.0, 0.5)
+    db = map2_from_moments_and_decay(0.015, 4.0, 0.95)
+    solver = MapClosedNetworkSolver(front, db, 0.5)
+    started = time.perf_counter()
+    results = solver.solve_sweep(populations)
+    elapsed = time.perf_counter() - started
+    return {
+        "populations": populations,
+        "seconds": elapsed,
+        "throughputs": [result.throughput for result in results],
+    }
+
+
+def bench_simulation(horizon: float) -> dict:
+    """Chunked-RNG event-loop rate on the bursty Figure-9-style network."""
+    import numpy as np
+
+    from repro.maps.map2 import map2_exponential, map2_from_moments_and_decay
+    from repro.simulation.closed_network import simulate_closed_map_network
+
+    front = map2_exponential(0.02)
+    db = map2_from_moments_and_decay(0.015, 4.0, 0.95)
+    started = time.perf_counter()
+    result = simulate_closed_map_network(
+        front, db, 0.5, 50, horizon=horizon, warmup=horizon * 0.05,
+        rng=np.random.default_rng(1),
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "horizon": horizon,
+        "seconds": elapsed,
+        "completed": result.completed,
+        "completions_per_second": result.completed / elapsed,
+    }
+
+
+def run_benchmarks(quick: bool) -> dict:
+    import numpy
+    import scipy
+
+    solve_populations = [50, 100] if quick else [100, 200, 500]
+    sweep_populations = [25, 50, 75, 100] if quick else [100, 200, 300, 400, 500]
+    sim_horizon = 2000.0 if quick else 20000.0
+    build_repeats = 3 if quick else 5
+    return {
+        "benchmark": "closed MAP network solver + simulator",
+        "generated_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "quick": quick,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {
+            "generator_build": bench_generator_build(100, build_repeats),
+            "exact_solve": bench_exact_solve(solve_populations),
+            "sweep": bench_sweep(sweep_populations),
+            "simulation": bench_simulation(sim_horizon),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_solver.json", help="output document path"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small grid for the CI perf-smoke step"
+    )
+    args = parser.parse_args(argv)
+
+    document = run_benchmarks(quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    build = document["results"]["generator_build"]
+    print(
+        f"generator build N={build['population']}: "
+        f"naive {build['naive_seconds']:.3f}s vs kron {build['kron_seconds']:.4f}s "
+        f"({build['speedup']:.1f}x)"
+    )
+    for row in document["results"]["exact_solve"]:
+        print(
+            f"exact solve N={row['population']}: {row['seconds']:.2f}s "
+            f"({row['num_states']} states)"
+        )
+    sweep = document["results"]["sweep"]
+    print(f"sweep {sweep['populations']}: {sweep['seconds']:.2f}s")
+    sim = document["results"]["simulation"]
+    print(f"simulation: {sim['completions_per_second']:,.0f} completions/s")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

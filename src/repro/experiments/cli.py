@@ -6,24 +6,38 @@
     python -m repro.experiments show fig4
     python -m repro.experiments run fig4 [--jobs N] [--force] [--no-cache]
                                          [--cache-dir DIR] [--json]
+    python -m repro.experiments sweep fig9 --populations 50,100,200
+                                         [--think-times 0.5,1.0]
+                                         [--solvers ctmc,mva] [...]
 
 ``run`` executes (or loads from the cache) a registered scenario and prints
-one table per solver.  The cache lives in ``./.experiments-cache`` unless
-overridden by ``--cache-dir`` or the ``REPRO_EXPERIMENTS_CACHE`` environment
-variable.
+one table per solver, with the per-cell wall-clock time in the last column.
+``sweep`` derives an ad-hoc grid from a registered workload — overriding its
+population axis, think time and solver set — and runs it through the same
+engine (one derived scenario per requested think time).  The cache lives in
+``./.experiments-cache`` unless overridden by ``--cache-dir`` or the
+``REPRO_EXPERIMENTS_CACHE`` environment variable.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.experiments.cache import default_cache_dir
 from repro.experiments.registry import get_scenario, list_scenarios, scenario_descriptions
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import (
+    SOLVER_KINDS,
+    ScenarioSpec,
+    SolverSpec,
+    SyntheticWorkload,
+    TestbedWorkload,
+)
 
-__all__ = ["main", "format_table"]
+__all__ = ["main", "format_table", "build_sweep_spec"]
 
 _PREFERRED_METRICS = (
     "throughput",
@@ -58,6 +72,52 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _int_list(text: str) -> tuple[int, ...]:
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated integer list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one value")
+    return values
+
+
+def _float_list(text: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated number list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one value")
+    return values
+
+
+def _solver_list(text: str) -> tuple[str, ...]:
+    kinds = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [kind for kind in kinds if kind not in SOLVER_KINDS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown solver kinds {unknown}; expected a subset of {SOLVER_KINDS}"
+        )
+    if not kinds:
+        raise argparse.ArgumentTypeError("expected at least one solver kind")
+    return kinds
+
+
+def _add_runner_arguments(command) -> None:
+    command.add_argument(
+        "--jobs", type=_positive_int, default=None, help="worker processes (default: auto)"
+    )
+    command.add_argument("--force", action="store_true", help="re-run even on a cache hit")
+    command.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    command.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
+    )
+    command.add_argument("--json", action="store_true", help="print the raw result JSON")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -72,17 +132,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run (or load from cache) a scenario")
     run.add_argument("scenario", help="registered scenario name")
-    run.add_argument(
-        "--jobs", type=_positive_int, default=None, help="worker processes (default: auto)"
+    _add_runner_arguments(run)
+
+    sweep = commands.add_parser(
+        "sweep", help="ad-hoc population/think-time grid over a registered workload"
     )
-    run.add_argument("--force", action="store_true", help="re-run even on a cache hit")
-    run.add_argument("--no-cache", action="store_true", help="disable the result cache")
-    run.add_argument(
-        "--cache-dir",
+    sweep.add_argument("scenario", help="registered scenario providing the base workload")
+    sweep.add_argument(
+        "--populations",
+        type=_int_list,
+        required=True,
+        help="comma-separated population axis, e.g. 50,100,200",
+    )
+    sweep.add_argument(
+        "--think-times",
+        type=_float_list,
         default=None,
-        help="cache directory (default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
+        help="comma-separated think times; one derived scenario per value "
+        "(default: the workload's own think time)",
     )
-    run.add_argument("--json", action="store_true", help="print the raw result JSON")
+    sweep.add_argument(
+        "--solvers",
+        type=_solver_list,
+        default=None,
+        help="comma-separated solver kinds, e.g. ctmc,mva,bounds "
+        "(default: the base scenario's solvers)",
+    )
+    _add_runner_arguments(sweep)
     return parser
 
 
@@ -119,7 +195,7 @@ def _print_result(result: ExperimentResult) -> None:
     replicated = any(row.replication > 0 for row in result.rows)
     for solver in result.solvers():
         metrics = _metric_columns(result, solver)
-        headers = axes + (["rep"] if replicated else []) + metrics
+        headers = axes + (["rep"] if replicated else []) + metrics + ["seconds"]
         rows = []
         for row in result.select(solver=solver):
             line = [row.params.get(axis, "-") for axis in axes]
@@ -128,10 +204,20 @@ def _print_result(result: ExperimentResult) -> None:
             line += [
                 f"{row.metrics[m]:.4g}" if m in row.metrics else "-" for m in metrics
             ]
+            line.append(f"{row.elapsed_seconds:.3f}")
             rows.append(line)
         print(f"--- solver: {solver} ---")
         print(format_table(headers, rows))
         print()
+
+
+def _print_run_outcome(spec: ScenarioSpec, result: ExperimentResult, runner, cache_dir) -> None:
+    source = "cache" if result.from_cache else f"computed in {result.elapsed_seconds:.1f}s"
+    print(f"scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells ({source})")
+    print()
+    _print_result(result)
+    if cache_dir is not None and not result.from_cache:
+        print(f"cached at {runner.cache.path(spec)}")
 
 
 def _cmd_run(args, spec) -> int:
@@ -141,12 +227,74 @@ def _cmd_run(args, spec) -> int:
     if args.json:
         print(result.to_json())
     else:
-        source = "cache" if result.from_cache else f"computed in {result.elapsed_seconds:.1f}s"
-        print(f"scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells ({source})")
-        print()
-        _print_result(result)
-        if cache_dir is not None and not result.from_cache:
-            print(f"cached at {runner.cache.path(spec)}")
+        _print_run_outcome(spec, result, runner, cache_dir)
+    return 0
+
+
+def build_sweep_spec(
+    base: ScenarioSpec,
+    populations: tuple[int, ...],
+    think_time: float | None = None,
+    solvers: tuple[str, ...] | None = None,
+) -> ScenarioSpec:
+    """Derive an ad-hoc sweep scenario from a registered one.
+
+    The base workload keeps everything except the population axis (replaced
+    by ``populations``), optionally the think time, and optionally the solver
+    set (fresh default-option solvers of the requested kinds).  The derived
+    name encodes the overrides so cache entries of different sweeps never
+    collide (the content hash would differ anyway — the name keeps the cache
+    directory legible).
+    """
+    workload = base.workload
+    if not isinstance(workload, (SyntheticWorkload, TestbedWorkload)):
+        raise ValueError(
+            f"scenario {base.name!r} has a {workload.kind!r} workload, which has no "
+            "population axis to sweep"
+        )
+    populations = tuple(dict.fromkeys(int(n) for n in populations))
+    if any(population < 1 for population in populations):
+        raise ValueError(f"populations must be >= 1, got {populations}")
+    changes: dict = {"populations": populations}
+    name = f"{base.name}-sweep"
+    if think_time is not None:
+        changes["think_time"] = float(think_time)
+        name += f"-z{think_time:g}"
+    new_workload = replace(workload, **changes)
+    if solvers is not None:
+        solver_specs = tuple(SolverSpec(kind=kind) for kind in dict.fromkeys(solvers))
+    else:
+        solver_specs = base.solvers
+    return ScenarioSpec(
+        name=name,
+        description=f"ad-hoc sweep derived from {base.name!r}",
+        workload=new_workload,
+        solvers=solver_specs,
+        replication=base.replication,
+    )
+
+
+def _cmd_sweep(args, base: ScenarioSpec) -> int:
+    think_times: tuple[float, ...] | None = args.think_times
+    try:
+        specs = [
+            build_sweep_spec(base, args.populations, think_time, args.solvers)
+            for think_time in (think_times if think_times is not None else [None])
+        ]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    runner = ExperimentRunner(cache_dir=cache_dir, jobs=args.jobs)
+    results = [runner.run(spec, force=args.force) for spec in specs]
+    if args.json:
+        if len(results) == 1:
+            print(results[0].to_json())
+        else:
+            print("[" + ",\n".join(result.to_json() for result in results) + "]")
+        return 0
+    for spec, result in zip(specs, results):
+        _print_run_outcome(spec, result, runner, cache_dir)
     return 0
 
 
@@ -162,4 +310,6 @@ def main(argv=None) -> int:
         return 2
     if args.command == "show":
         return _cmd_show(spec)
+    if args.command == "sweep":
+        return _cmd_sweep(args, spec)
     return _cmd_run(args, spec)

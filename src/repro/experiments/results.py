@@ -23,7 +23,13 @@ __all__ = ["CellResult", "ExperimentResult"]
 
 @dataclass(frozen=True)
 class CellResult:
-    """Outcome of one grid cell."""
+    """Outcome of one grid cell.
+
+    ``elapsed_seconds`` is the wall-clock cost of executing the cell; it is
+    serialised with the result (so cached documents keep their original
+    timings) but excluded from equality, which compares what was computed,
+    not how long it took.
+    """
 
     solver: str
     kind: str
@@ -31,6 +37,7 @@ class CellResult:
     replication: int
     seed: int
     metrics: dict[str, float]
+    elapsed_seconds: float = field(default=0.0, compare=False)
     artifact: Any = field(default=None, compare=False)
 
     def metric(self, name: str) -> float:
@@ -52,6 +59,7 @@ class CellResult:
             "replication": self.replication,
             "seed": self.seed,
             "metrics": dict(self.metrics),
+            "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
@@ -63,6 +71,7 @@ class CellResult:
             replication=int(payload["replication"]),
             seed=int(payload["seed"]),
             metrics={k: float(v) for k, v in payload["metrics"].items()},
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
         )
 
 

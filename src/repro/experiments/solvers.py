@@ -27,6 +27,7 @@ them once however many cells it executes.
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 
 import numpy as np
@@ -47,8 +48,9 @@ DEFAULT_SIM_WARMUP = 200.0
 
 
 def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
-    """Run one cell of the scenario grid and return its result."""
+    """Run one cell of the scenario grid and return its result (timed)."""
     workload = spec.workload
+    started = time.perf_counter()
     if isinstance(workload, SyntheticWorkload):
         metrics, artifact = _execute_synthetic(workload, cell)
     elif isinstance(workload, TestbedWorkload):
@@ -57,6 +59,7 @@ def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
         metrics, artifact = _execute_trace(workload, cell)
     else:  # pragma: no cover - spec validation prevents this
         raise TypeError(f"unsupported workload type {type(workload)!r}")
+    elapsed = time.perf_counter() - started
     return CellResult(
         solver=cell.solver_label,
         kind=cell.solver_kind,
@@ -64,6 +67,7 @@ def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
         replication=cell.replication,
         seed=cell.seed,
         metrics={key: float(value) for key, value in metrics.items()},
+        elapsed_seconds=elapsed,
         artifact=artifact,
     )
 

@@ -7,6 +7,8 @@
   CTMC) of the closed MAP queueing network of Figure 9: think-time delay
   station plus two processor-sharing servers whose service processes are
   MAPs.  This is the model the paper's methodology parameterises.
+* :mod:`~repro.queueing.kron` — Kronecker-structured state enumeration and
+  vectorised generator assembly behind the exact solver.
 * :mod:`~repro.queueing.ctmc` — sparse continuous-time Markov chain
   utilities shared by the solvers.
 * :mod:`~repro.queueing.mg1` — classical single-station references
@@ -15,7 +17,16 @@
 """
 
 from repro.queueing.mva import MVAResult, mva_closed_network
-from repro.queueing.ctmc import steady_state_distribution, SparseGeneratorBuilder
+from repro.queueing.ctmc import (
+    assemble_generator,
+    steady_state_distribution,
+    SparseGeneratorBuilder,
+)
+from repro.queueing.kron import (
+    KronGeneratorAssembler,
+    NetworkStateSpace,
+    embed_distribution,
+)
 from repro.queueing.map_network import (
     MapNetworkResult,
     solve_map_closed_network,
@@ -35,8 +46,12 @@ from repro.queueing.bounds import (
 __all__ = [
     "MVAResult",
     "mva_closed_network",
+    "assemble_generator",
     "steady_state_distribution",
     "SparseGeneratorBuilder",
+    "KronGeneratorAssembler",
+    "NetworkStateSpace",
+    "embed_distribution",
     "MapNetworkResult",
     "solve_map_closed_network",
     "MapClosedNetworkSolver",

@@ -1,23 +1,75 @@
 """Sparse continuous-time Markov chain utilities.
 
 The exact solution of the closed MAP queueing network (Figure 9 of the paper)
-requires building and solving a CTMC with tens of thousands of states.  This
-module provides a small, reusable toolkit:
+requires building and solving a CTMC with up to hundreds of thousands of
+states.  This module provides a small, reusable toolkit:
 
 * :class:`SparseGeneratorBuilder` — incremental construction of a sparse
   generator matrix from individual transitions,
+* :func:`assemble_generator` — one-shot construction from COO triplet arrays
+  (the vectorised assembly path of :mod:`repro.queueing.kron` feeds this),
 * :func:`steady_state_distribution` — robust solution of the global balance
-  equations ``pi Q = 0``, ``pi 1 = 1`` using a sparse direct solve with an
-  iterative fallback.
+  equations ``pi Q = 0``, ``pi 1 = 1``.
+
+Solution strategy
+-----------------
+The balance system is built directly in COO/CSC form (no ``lil_matrix`` row
+surgery).  Small systems go through a sparse direct LU solve, which is cheap
+and the most accurate.  Large systems hit SuperLU's fill-in wall — the
+lattice-structured generators produced by the closed network make the direct
+factorisation super-linearly expensive — so they are solved with an
+ILU-preconditioned Krylov iteration first (BiCGSTAB, with a GMRES retry),
+which is an order of magnitude faster from ``~10^4`` states up.  Every
+candidate solution is validated against the residual ``max |pi Q|`` before it
+is accepted; failures are logged and the next strategy is tried, ending with
+uniformised power iteration as the last resort.
 """
 
 from __future__ import annotations
+
+import logging
+import warnings
 
 import numpy as np
 import scipy.sparse as sparse
 import scipy.sparse.linalg as sparse_linalg
 
-__all__ = ["SparseGeneratorBuilder", "steady_state_distribution"]
+__all__ = ["SparseGeneratorBuilder", "assemble_generator", "steady_state_distribution"]
+
+logger = logging.getLogger(__name__)
+
+#: Below this many states a sparse direct solve is both fast and the most
+#: accurate option, so it runs first.  Above it the ILU+Krylov path leads
+#: (SuperLU fill-in grows super-linearly on lattice-structured generators,
+#: e.g. ~5 s at 2*10^4 states versus ~0.7 s for ILU+BiCGSTAB).
+DIRECT_SOLVE_STATE_LIMIT = 4_000
+
+#: ILU preconditioner knobs for the Krylov path.  ``NATURAL`` ordering beats
+#: COLAMD by ~10x here because the network's state enumeration already orders
+#: the lattice blocks contiguously.
+_ILU_DROP_TOL = 0.05
+_ILU_FILL_FACTOR = 2.0
+
+#: Acceptance threshold for a candidate distribution: the balance residual
+#: ``max |pi Q|`` must be below this fraction of the largest exit rate.
+_RESIDUAL_RTOL = 1e-8
+
+
+def assemble_generator(rows, cols, rates, num_states: int) -> sparse.csr_matrix:
+    """CSR generator from off-diagonal COO triplets.
+
+    Duplicate ``(row, col)`` entries are summed and the diagonal is filled so
+    that every row sums to zero.  Both the incremental
+    :class:`SparseGeneratorBuilder` and the vectorised Kronecker assembly
+    funnel through this helper, which guarantees the two paths produce
+    bit-identical matrices for the same set of triplets.
+    """
+    off_diagonal = sparse.coo_matrix(
+        (rates, (rows, cols)), shape=(num_states, num_states)
+    ).tocsr()
+    row_sums = np.asarray(off_diagonal.sum(axis=1)).reshape(-1)
+    diagonal = sparse.diags(-row_sums)
+    return (off_diagonal + diagonal).tocsr()
 
 
 class SparseGeneratorBuilder:
@@ -49,23 +101,102 @@ class SparseGeneratorBuilder:
 
     def build(self) -> sparse.csr_matrix:
         """Return the generator as a CSR matrix with a consistent diagonal."""
-        off_diagonal = sparse.coo_matrix(
-            (self._rates, (self._rows, self._cols)),
-            shape=(self.num_states, self.num_states),
-        ).tocsr()
-        # Sum duplicate entries (coo->csr already sums duplicates).
-        row_sums = np.asarray(off_diagonal.sum(axis=1)).reshape(-1)
-        diagonal = sparse.diags(-row_sums)
-        return (off_diagonal + diagonal).tocsr()
+        return assemble_generator(self._rows, self._cols, self._rates, self.num_states)
 
 
-def steady_state_distribution(generator: sparse.spmatrix, tol: float = 1e-12) -> np.ndarray:
+def _balance_system(generator: sparse.spmatrix):
+    """Build ``A x = b`` for the balance equations, directly in CSC form.
+
+    ``A`` is ``Q^T`` with the last row replaced by the normalisation
+    constraint ``sum(pi) = 1`` — constructed from COO triplets instead of
+    ``lil_matrix`` row surgery, which is both faster and allocation-light.
+    """
+    num_states = generator.shape[0]
+    transposed = generator.T.tocoo()
+    keep = transposed.row != num_states - 1
+    rows = np.concatenate([transposed.row[keep], np.full(num_states, num_states - 1)])
+    cols = np.concatenate([transposed.col[keep], np.arange(num_states)])
+    data = np.concatenate([transposed.data[keep], np.ones(num_states)])
+    A = sparse.csc_matrix((data, (rows, cols)), shape=(num_states, num_states))
+    b = np.zeros(num_states)
+    b[-1] = 1.0
+    return A, b
+
+
+def _validated(candidate, generator: sparse.spmatrix, rate_scale: float):
+    """Normalise a candidate solution; ``None`` if it is not a distribution.
+
+    Accepts the candidate only when it is finite, non-negative up to round-off
+    and satisfies the balance equations to ``max |pi Q| <= 1e-8 * rate_scale``.
+    """
+    candidate = np.asarray(candidate).reshape(-1)
+    if not np.all(np.isfinite(candidate)) or candidate.min() < -1e-8:
+        return None
+    candidate = np.clip(candidate, 0.0, None)
+    total = candidate.sum()
+    if total <= 0:
+        return None
+    candidate = candidate / total
+    residual = float(np.abs(candidate @ generator).max())
+    if residual > _RESIDUAL_RTOL * max(rate_scale, 1.0):
+        return None
+    return candidate
+
+
+def _direct_solve(A, b) -> np.ndarray:
+    """Sparse LU solve; rank deficiency is raised instead of warned."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", sparse_linalg.MatrixRankWarning)
+        return sparse_linalg.spsolve(A, b)
+
+
+def _ilu_krylov_solve(A, b, initial_guess) -> np.ndarray:
+    """ILU-preconditioned BiCGSTAB with a GMRES retry on stagnation."""
+    ilu = sparse_linalg.spilu(
+        A,
+        drop_tol=_ILU_DROP_TOL,
+        fill_factor=_ILU_FILL_FACTOR,
+        permc_spec="NATURAL",
+        diag_pivot_thresh=0.0,
+    )
+    preconditioner = sparse_linalg.LinearOperator(A.shape, ilu.solve)
+    solution, info = sparse_linalg.bicgstab(
+        A, b, M=preconditioner, x0=initial_guess, rtol=1e-12, atol=0.0, maxiter=2000
+    )
+    if info != 0:
+        solution, info = sparse_linalg.gmres(
+            A,
+            b,
+            M=preconditioner,
+            x0=initial_guess,
+            rtol=1e-12,
+            atol=0.0,
+            restart=100,
+            maxiter=2000,
+        )
+    if info != 0:
+        raise RuntimeError(f"Krylov iteration did not converge (info={info})")
+    return solution
+
+
+def steady_state_distribution(
+    generator: sparse.spmatrix,
+    tol: float = 1e-12,
+    initial_guess: np.ndarray | None = None,
+) -> np.ndarray:
     """Solve ``pi Q = 0`` with ``pi >= 0`` and ``sum(pi) = 1``.
 
-    A direct sparse LU solve of the transposed balance equations (with one
-    equation replaced by the normalisation constraint) is attempted first;
-    if it fails or produces an invalid vector, a power-iteration on the
-    uniformised chain is used as a fallback.
+    Parameters
+    ----------
+    generator:
+        Square sparse CTMC generator (zero row sums).
+    tol:
+        Convergence tolerance of the power-iteration last resort.
+    initial_guess:
+        Optional warm start for the iterative paths — e.g. the steady state
+        of a nearby model, as produced by population sweeps.  The direct
+        solve ignores it, so providing a guess never changes the result of a
+        successfully direct-solved system.
     """
     num_states = generator.shape[0]
     if generator.shape[0] != generator.shape[1]:
@@ -73,25 +204,46 @@ def steady_state_distribution(generator: sparse.spmatrix, tol: float = 1e-12) ->
     if num_states == 1:
         return np.array([1.0])
 
-    A = sparse.lil_matrix(generator.T)
-    A[-1, :] = 1.0
-    b = np.zeros(num_states)
-    b[-1] = 1.0
-    try:
-        solution = sparse_linalg.spsolve(A.tocsc(), b)
-        solution = np.asarray(solution).reshape(-1)
-        if np.all(np.isfinite(solution)) and solution.min() > -1e-8:
-            solution = np.clip(solution, 0.0, None)
-            total = solution.sum()
-            if total > 0:
-                return solution / total
-    except Exception:  # pragma: no cover - fallback path
-        pass
-    return _power_iteration(generator, tol=tol)
+    generator = generator.tocsr()
+    rate_scale = float(np.abs(generator.diagonal()).max())
+    A, b = _balance_system(generator)
+
+    strategies = ["direct", "ilu_krylov"]
+    if num_states > DIRECT_SOLVE_STATE_LIMIT:
+        strategies = ["ilu_krylov", "direct"]
+
+    for strategy in strategies:
+        try:
+            if strategy == "direct":
+                candidate = _direct_solve(A, b)
+            else:
+                candidate = _ilu_krylov_solve(A, b, initial_guess)
+        except (RuntimeError, ValueError, ArithmeticError, MemoryError,
+                np.linalg.LinAlgError, sparse_linalg.MatrixRankWarning) as error:
+            # MemoryError is included deliberately: the direct fallback can hit
+            # SuperLU's fill-in wall on large lattice generators, and the
+            # power-iteration last resort must still get its chance.
+            logger.warning(
+                "steady-state %s solve failed (%s: %s); trying next strategy",
+                strategy, type(error).__name__, error,
+            )
+            continue
+        solution = _validated(candidate, generator, rate_scale)
+        if solution is not None:
+            return solution
+        logger.warning(
+            "steady-state %s solve produced an invalid distribution; trying next strategy",
+            strategy,
+        )
+    logger.warning("all linear-solver strategies failed; falling back to power iteration")
+    return _power_iteration(generator, tol=tol, initial_guess=initial_guess)
 
 
 def _power_iteration(
-    generator: sparse.spmatrix, tol: float = 1e-12, max_iterations: int = 200_000
+    generator: sparse.spmatrix,
+    tol: float = 1e-12,
+    max_iterations: int = 200_000,
+    initial_guess: np.ndarray | None = None,
 ) -> np.ndarray:
     """Steady state via power iteration on the uniformised DTMC."""
     num_states = generator.shape[0]
@@ -99,7 +251,11 @@ def _power_iteration(
     diagonal = -generator.diagonal()
     uniformisation_rate = float(diagonal.max()) * 1.05 + 1e-12
     transition = sparse.eye(num_states, format="csr") + generator / uniformisation_rate
-    pi = np.full(num_states, 1.0 / num_states)
+    if initial_guess is not None and initial_guess.sum() > 0:
+        pi = np.clip(np.asarray(initial_guess, dtype=float).reshape(-1), 0.0, None)
+        pi = pi / pi.sum()
+    else:
+        pi = np.full(num_states, 1.0 / num_states)
     for _ in range(max_iterations):
         new_pi = pi @ transition
         new_pi = np.clip(new_pi, 0.0, None)

@@ -14,17 +14,38 @@ Its purpose is validation: for any pair of service MAPs the simulated
 throughput and utilisations must agree with the exact CTMC solution within
 statistical error, which is one of the strongest integration tests in the
 repository.
+
+Seed policy
+-----------
+All randomness is drawn from the single ``rng`` passed in, but *in batches*:
+unit-rate exponential and uniform variates are pre-drawn in chunks of
+``RNG_CHUNK`` and consumed from buffers (:class:`_ChunkedDraws`), so the
+event loop pays one numpy call per few thousand events instead of one per
+MAP jump.  Consequences:
+
+* a fixed ``(seed, RNG_CHUNK)`` pair gives bit-identical results across runs
+  and platforms (pinned by a regression test),
+* trajectories differ from pre-batching versions of this module (the order
+  in which the underlying bit stream is consumed changed), and changing
+  ``RNG_CHUNK`` is likewise a trajectory-breaking change,
+* statistical properties are untouched — every variate is still an
+  independent draw from the same generator.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.maps.map_process import MAP
 
-__all__ = ["ClosedNetworkSimResult", "simulate_closed_map_network"]
+__all__ = ["ClosedNetworkSimResult", "simulate_closed_map_network", "RNG_CHUNK"]
+
+#: Number of variates drawn per numpy call.  Part of the seed policy: the
+#: trajectory of a seeded run depends on this value (see module docstring).
+RNG_CHUNK = 4096
 
 
 @dataclass(frozen=True)
@@ -55,36 +76,80 @@ class ClosedNetworkSimResult:
         }
 
 
+class _ChunkedDraws:
+    """Buffered unit-exponential and uniform draws from one generator.
+
+    Refills in chunks of ``RNG_CHUNK`` (one numpy call per chunk) and hands
+    out plain Python floats, which keeps the per-event cost of the simulation
+    loop at a couple of list indexings instead of numpy method dispatches.
+    """
+
+    __slots__ = ("rng", "_exp", "_exp_pos", "_uni", "_uni_pos")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._exp: list[float] = []
+        self._exp_pos = 0
+        self._uni: list[float] = []
+        self._uni_pos = 0
+
+    def exponential(self) -> float:
+        """Next unit-rate exponential variate (scale at the call site)."""
+        pos = self._exp_pos
+        if pos >= len(self._exp):
+            self._exp = self.rng.standard_exponential(RNG_CHUNK).tolist()
+            pos = 0
+        self._exp_pos = pos + 1
+        return self._exp[pos]
+
+    def uniform(self) -> float:
+        """Next uniform variate on ``[0, 1)``."""
+        pos = self._uni_pos
+        if pos >= len(self._uni):
+            self._uni = self.rng.random(RNG_CHUNK).tolist()
+            pos = 0
+        self._uni_pos = pos + 1
+        return self._uni[pos]
+
+
 class _MapServiceState:
     """Incremental sampling of a MAP's completion process for one server."""
 
-    def __init__(self, map_process: MAP, rng: np.random.Generator) -> None:
-        self.rng = rng
+    def __init__(self, map_process: MAP, draws: _ChunkedDraws) -> None:
+        self.draws = draws
         order = map_process.order
-        self.phase = int(rng.choice(order, p=map_process.embedded_stationary))
+        self.phase = int(draws.rng.choice(order, p=map_process.embedded_stationary))
         self.order = order
-        self.mean_sojourns = -1.0 / np.diag(map_process.D0)
+        self.mean_sojourns = (-1.0 / np.diag(map_process.D0)).tolist()
         # Per-phase cumulative jump distribution over the 2K outcomes
         # (K hidden D0 transitions, then K marked D1 transitions), precomputed
-        # so the hot loop is one exponential draw plus one searchsorted.
+        # as plain lists so the hot loop is one buffered exponential draw plus
+        # one bisect on a K-element list.
         rates = -np.diag(map_process.D0)
         hidden = np.maximum(map_process.D0, 0.0)
         np.fill_diagonal(hidden, 0.0)
         marked = np.maximum(map_process.D1, 0.0)
         jump_probabilities = np.hstack([hidden, marked]) / rates[:, None]
-        self.jump_cdf = np.cumsum(jump_probabilities, axis=1)
+        self.jump_cdf = np.cumsum(jump_probabilities, axis=1).tolist()
 
     def sample_completion_interval(self) -> float:
         """Busy time until the next completion event, advancing the phase."""
         elapsed = 0.0
-        rng = self.rng
+        order = self.order
+        last_jump = 2 * order - 1
+        draws = self.draws
+        mean_sojourns = self.mean_sojourns
+        jump_cdf = self.jump_cdf
         while True:
-            elapsed += rng.exponential(self.mean_sojourns[self.phase])
-            jump = int(np.searchsorted(self.jump_cdf[self.phase], rng.random(), side="right"))
-            jump = min(jump, 2 * self.order - 1)
-            self.phase = jump % self.order
-            if jump >= self.order:
+            phase = self.phase
+            elapsed += draws.exponential() * mean_sojourns[phase]
+            jump = bisect_right(jump_cdf[phase], draws.uniform())
+            if jump > last_jump:
+                jump = last_jump
+            if jump >= order:
+                self.phase = jump - order
                 return elapsed
+            self.phase = jump
 
 
 def simulate_closed_map_network(
@@ -125,8 +190,9 @@ def simulate_closed_map_network(
     if rng is None:
         rng = np.random.default_rng()
 
-    front_state = _MapServiceState(front_service, rng)
-    db_state = _MapServiceState(db_service, rng)
+    draws = _ChunkedDraws(rng)
+    front_state = _MapServiceState(front_service, draws)
+    db_state = _MapServiceState(db_service, draws)
 
     # State variables.
     thinking = population
@@ -154,7 +220,7 @@ def simulate_closed_map_network(
 
     def schedule_think() -> float:
         rate = think_rate()
-        return clock + rng.exponential(1.0 / rate) if rate > 0 else np.inf
+        return clock + draws.exponential() / rate if rate > 0 else np.inf
 
     next_think_completion = schedule_think()
 

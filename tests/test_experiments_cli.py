@@ -1,10 +1,13 @@
-"""CLI surface: list / show / run with cache round-trip."""
+"""CLI surface: list / show / run / sweep with cache round-trip."""
 
 from __future__ import annotations
 
 import json
 
-from repro.experiments.cli import format_table, main
+import pytest
+
+from repro.experiments.cli import build_sweep_spec, format_table, main
+from repro.experiments.registry import get_scenario
 
 
 class TestList:
@@ -48,6 +51,86 @@ class TestRun:
         assert main(["run", "smoke", "--no-cache", "--jobs", "1"]) == 0
         out = capsys.readouterr().out
         assert "cached at" not in out
+
+    def test_run_table_has_seconds_column(self, capsys):
+        assert main(["run", "smoke", "--no-cache", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "seconds" in out
+
+
+class TestSweepSpec:
+    def test_overrides_populations_and_solvers(self):
+        spec = build_sweep_spec(
+            get_scenario("fig9"), populations=(5, 10), solvers=("ctmc", "mva")
+        )
+        assert spec.workload.populations == (5, 10)
+        assert [solver.kind for solver in spec.solvers] == ["ctmc", "mva"]
+        assert spec.name == "fig9-sweep"
+
+    def test_think_time_override_changes_name_and_workload(self):
+        spec = build_sweep_spec(get_scenario("fig9"), populations=(5,), think_time=1.5)
+        assert spec.workload.think_time == 1.5
+        assert spec.name == "fig9-sweep-z1.5"
+
+    def test_keeps_base_solvers_by_default(self):
+        base = get_scenario("smoke")
+        spec = build_sweep_spec(base, populations=(2,))
+        assert spec.solvers == base.solvers
+
+    def test_rejects_trace_workload(self):
+        with pytest.raises(ValueError, match="population axis"):
+            build_sweep_spec(get_scenario("table1"), populations=(5,))
+
+    def test_rejects_nonpositive_populations(self):
+        with pytest.raises(ValueError, match="populations must be >= 1"):
+            build_sweep_spec(get_scenario("smoke"), populations=(0, 2))
+
+
+class TestSweepCommand:
+    def test_sweep_synthetic_scenario(self, capsys):
+        args = [
+            "sweep", "smoke", "--populations", "2,3", "--solvers", "ctmc,mva",
+            "--no-cache", "--jobs", "1",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "smoke-sweep" in out
+        assert "solver: ctmc" in out
+        assert "solver: mva" in out
+
+    def test_sweep_multiple_think_times(self, capsys):
+        args = [
+            "sweep", "smoke", "--populations", "2", "--think-times", "0.5,1.0",
+            "--solvers", "ctmc", "--no-cache", "--jobs", "1",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "smoke-sweep-z0.5" in out
+        assert "smoke-sweep-z1" in out
+
+    def test_sweep_json_output(self, capsys):
+        args = [
+            "sweep", "smoke", "--populations", "2", "--solvers", "ctmc",
+            "--no-cache", "--jobs", "1", "--json",
+        ]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "smoke-sweep"
+        assert {row["params"]["population"] for row in payload["rows"]} == {2}
+
+    def test_sweep_trace_workload_is_an_error(self, capsys):
+        args = ["sweep", "table1", "--populations", "2", "--no-cache"]
+        assert main(args) == 2
+        assert "population axis" in capsys.readouterr().err
+
+    def test_sweep_zero_population_is_an_error_not_a_traceback(self, capsys):
+        args = ["sweep", "smoke", "--populations", "0", "--no-cache"]
+        assert main(args) == 2
+        assert "populations must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_solver_kind(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "smoke", "--populations", "2", "--solvers", "nonsense"])
 
 
 class TestFormatTable:

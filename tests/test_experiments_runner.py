@@ -143,6 +143,37 @@ class TestDeterminism:
         assert large_seeds[0] == small_seed
 
 
+class TestPerCellTiming:
+    def test_executed_cells_carry_elapsed_seconds(self):
+        result = run_scenario(analytic_spec())
+        assert all(row.elapsed_seconds > 0 for row in result.rows)
+
+    def test_elapsed_survives_cache_round_trip(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
+        computed = runner.run(analytic_spec())
+        cached = runner.run(analytic_spec())
+        assert cached.from_cache
+        for row, cached_row in zip(computed.rows, cached.rows):
+            assert cached_row.elapsed_seconds == pytest.approx(row.elapsed_seconds)
+
+    def test_elapsed_excluded_from_equality(self):
+        first = run_scenario(analytic_spec())
+        second = run_scenario(analytic_spec())
+        # Wall-clock noise must not make otherwise-identical rows unequal.
+        assert first.rows == second.rows
+
+    def test_missing_elapsed_in_old_cache_documents_defaults_to_zero(self):
+        from repro.experiments.results import CellResult
+
+        row = CellResult.from_dict(
+            {
+                "solver": "ctmc", "kind": "ctmc", "params": {"population": 1},
+                "replication": 0, "seed": 1, "metrics": {"throughput": 1.0},
+            }
+        )
+        assert row.elapsed_seconds == 0.0
+
+
 class TestResultQueries:
     def test_select_and_metric(self):
         result = run_scenario(analytic_spec(), jobs=1)
