@@ -34,7 +34,7 @@ from repro.experiments import (
     ScenarioSpec,
     SolverSpec,
     TestbedWorkload,
-    testbed_runs_by_mix,
+    default_cache_dir,
 )
 from repro.tpcw.experiment import measurement_from_series
 
@@ -89,8 +89,10 @@ def analyse_mix(mix_name: str, run, duration: float) -> None:
 
 def main() -> None:
     spec = diagnosis_scenario()
-    result = ExperimentRunner(keep_artifacts=True).run(spec)
-    runs = testbed_runs_by_mix(result)
+    result = ExperimentRunner(cache_dir=default_cache_dir(), keep_artifacts=True).run(spec)
+    if result.from_cache:
+        print("(monitoring runs served from the experiment cache)\n")
+    runs = result.testbed_runs_by_mix()
     for mix_name in ("browsing", "shopping", "ordering"):
         analyse_mix(mix_name, runs[mix_name], spec.workload.duration)
     print(

@@ -49,6 +49,12 @@ def main() -> None:
     result = runner.run(spec)
     source = "served from cache" if result.from_cache else f"computed in {result.elapsed_seconds:.1f}s"
     print(f"=== scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells, {source} ===")
+    if result.meta:
+        print(
+            f"    ({result.meta.get('cells_computed', 0)} computed, "
+            f"{result.meta.get('cells_from_cache', 0)} cached, "
+            f"{result.meta.get('artifact_bytes_written', 0)} artifact bytes written)"
+        )
 
     fitted = result.select(solver="fitted_map")[0]
     print(

@@ -1,4 +1,4 @@
-"""Declarative scenario engine and parallel experiment runner.
+"""Declarative scenario engine with a streaming, artifact-aware runner.
 
 This subpackage turns the paper's evaluation (and any new study) into
 declarative, hashable scenario specs executed by a caching, multiprocessing
@@ -7,26 +7,39 @@ runner:
 * :mod:`~repro.experiments.spec` — scenario specifications (workload,
   solvers, replication/seeding) with dict/JSON round-trip and content hash,
 * :mod:`~repro.experiments.registry` — named paper scenarios (fig4–fig12,
-  table1) plus synthetic exploration grids,
+  table1, the estimation/granularity monitoring runs) plus synthetic
+  exploration grids,
 * :mod:`~repro.experiments.solvers` — execution of one grid cell against the
   repository's analytical solvers, simulators and the TPC-W testbed,
-* :mod:`~repro.experiments.runner` — multiprocessing fan-out with
-  deterministic per-cell seeding and an on-disk JSON result cache,
-* :mod:`~repro.experiments.cli` — ``python -m repro.experiments run fig4``.
+* :mod:`~repro.experiments.results` — the typed result schema and the
+  artifact codecs (npz side-files for time-series payloads, JSON for small
+  structures) with integrity-checked lazy refs,
+* :mod:`~repro.experiments.cache` — the directory-per-run result store with
+  atomic incremental writes and resume-from-partial,
+* :mod:`~repro.experiments.runner` — multiprocessing fan-out that streams
+  completed cells into the store as they finish,
+* :mod:`~repro.experiments.cli` — ``python -m repro.experiments run fig4``
+  and the ``cache ls/rm/gc`` maintenance surface.
 """
 
-from repro.experiments.adapters import sweep_points_by_mix, testbed_runs_by_mix
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.registry import (
     EB_VALUES,
     PAPER_SCENARIOS,
     get_scenario,
     list_scenarios,
+    monitoring_scenario,
     register_scenario,
     scenario_descriptions,
     tpcw_sweep_scenario,
 )
-from repro.experiments.results import CellResult, ExperimentResult
+from repro.experiments.results import (
+    ArtifactIntegrityError,
+    ArtifactRef,
+    CellResult,
+    ExperimentResult,
+    register_artifact_codec,
+)
 from repro.experiments.runner import ExperimentRunner, run_scenario
 from repro.experiments.spec import (
     Cell,
@@ -41,6 +54,8 @@ from repro.experiments.spec import (
 )
 
 __all__ = [
+    "ArtifactIntegrityError",
+    "ArtifactRef",
     "Cell",
     "CellResult",
     "EB_VALUES",
@@ -59,10 +74,10 @@ __all__ = [
     "default_cache_dir",
     "get_scenario",
     "list_scenarios",
+    "monitoring_scenario",
+    "register_artifact_codec",
     "register_scenario",
     "run_scenario",
     "scenario_descriptions",
-    "sweep_points_by_mix",
-    "testbed_runs_by_mix",
     "tpcw_sweep_scenario",
 ]

@@ -1,27 +1,67 @@
-"""On-disk JSON result cache keyed by scenario content hash.
+"""Directory-per-run result store keyed by scenario content hash.
 
-A cache entry is one JSON file per scenario run, named
-``<scenario-name>-<spec-hash>.json``.  Because the file name embeds the
-spec's content hash, editing any field of a scenario automatically misses
-the cache, while re-running an identical spec is served from disk.  The
-stored document embeds the spec and its hash, which :meth:`ResultCache.load`
-verifies before trusting the entry (a stale or hand-edited file is treated
-as a miss, never as silent corruption).
+A cache entry is one *run directory* per scenario run::
+
+    <cache-dir>/<scenario-name>-<spec-hash>/
+        manifest.json            # spec, row metrics, artifact index, status
+        <cell-slug>-<h>.npz      # one integrity-checked side-file per
+        <cell-slug>-<h>.json     # artifact-bearing cell
+
+Because the directory name embeds the spec's content hash, editing any field
+of a scenario automatically misses the cache, while re-running an identical
+spec is served from disk — artifacts included, decoded lazily from their
+side-files.  The manifest embeds the spec and its hash, which
+:meth:`ResultCache.load` verifies before trusting the entry, and records a
+SHA-256 digest per side-file, which :class:`ArtifactRef` re-verifies on
+every load.
+
+Writes are incremental and atomic: the runner streams completed cells into
+a :class:`CacheWriter`, which writes each artifact side-file and rewrites
+the manifest (temp file + ``os.replace``) after every cell, with
+``status: "partial"`` until the run finishes.  A killed run therefore leaves
+a valid partial entry, and the next run of the same spec resumes from it
+(:meth:`ResultCache.load_partial`) instead of recomputing finished cells.
+
+Unreadable, truncated or hand-edited entries are never an error: they are
+treated as a miss (logged at WARNING).  Entries written by the pre-artifact
+single-file format (``<scenario-name>-<spec-hash>.json``) are still read.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
+import re
+import shutil
+import time
+from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.experiments.results import ExperimentResult
-from repro.experiments.spec import ScenarioSpec
+from repro.experiments.results import ArtifactIntegrityError, ArtifactRef, write_artifact
+from repro.experiments.results.schema import CellResult, ExperimentResult
+from repro.experiments.spec import ARTIFACT_SOLVERS, ScenarioSpec, cell_key
 
-__all__ = ["ResultCache", "default_cache_dir"]
+__all__ = [
+    "CacheEntryInfo",
+    "CacheWriter",
+    "GcReport",
+    "ResultCache",
+    "default_cache_dir",
+]
+
+logger = logging.getLogger(__name__)
 
 _CACHE_ENV_VAR = "REPRO_EXPERIMENTS_CACHE"
 _DEFAULT_DIRNAME = ".experiments-cache"
+_MANIFEST = "manifest.json"
+_FORMAT = 2
+_HASH_LEN = 16  # length of ScenarioSpec.hash()
+#: How long gc leaves a manifest-less (corrupt-looking) entry alone, so a
+#: concurrent run that has written its first artifact but not yet its first
+#: manifest is never swept away.
+_CORRUPT_GRACE_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -29,36 +69,466 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(_CACHE_ENV_VAR, _DEFAULT_DIRNAME))
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _artifact_stem(key: str) -> str:
+    """Side-file stem for a cell key: legible slug + collision-proof digest."""
+    slug = re.sub(r"[^A-Za-z0-9._=,-]+", "_", key).strip("_")[:80]
+    return f"{slug}-{hashlib.sha256(key.encode('utf-8')).hexdigest()[:8]}"
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """One cache entry as reported by :meth:`ResultCache.entries`."""
+
+    name: str
+    spec_hash: str
+    path: Path
+    status: str  # "complete" | "partial" | "legacy" | "corrupt"
+    cells: int
+    artifacts: int
+    total_bytes: int
+    mtime: float
+
+    @property
+    def age_seconds(self) -> float:
+        return max(0.0, time.time() - self.mtime)
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What :meth:`ResultCache.gc` removed."""
+
+    removed_entries: tuple[str, ...]
+    removed_orphans: int
+    freed_bytes: int
+
+
 class ResultCache:
-    """JSON file cache for :class:`ExperimentResult` documents."""
+    """Run-directory store for :class:`ExperimentResult` documents."""
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
 
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
     def path(self, spec: ScenarioSpec) -> Path:
+        """The run directory of ``spec``'s cache entry."""
+        return self.directory / f"{spec.name}-{spec.hash()}"
+
+    def manifest_path(self, spec: ScenarioSpec) -> Path:
+        return self.path(spec) / _MANIFEST
+
+    def legacy_path(self, spec: ScenarioSpec) -> Path:
+        """Entry location of the pre-artifact single-file cache format."""
         return self.directory / f"{spec.name}-{spec.hash()}.json"
 
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
     def load(self, spec: ScenarioSpec) -> ExperimentResult | None:
-        """Return the cached result for ``spec``, or ``None`` on a miss."""
-        path = self.path(spec)
+        """Return the complete cached result for ``spec``, or ``None``.
+
+        Partial entries (a killed run) are a miss here — the runner picks
+        them up through :meth:`load_partial` and finishes the remaining
+        cells.  Any unreadable entry is a logged miss, never an exception.
+        """
+        manifest = self._read_manifest(spec)
+        if manifest is None:
+            return self._load_legacy(spec)
+        if manifest.get("status") != "complete":
+            return None
+        rows_by_key = self._rows_from_manifest(spec, manifest)
+        if rows_by_key is None:
+            return None
+        ordered = []
+        for cell in spec.cells():
+            row = rows_by_key.get(cell.key)
+            if row is None:
+                logger.warning(
+                    "cache entry %s is marked complete but misses cell %s; "
+                    "treating it as a miss", self.path(spec), cell.key,
+                )
+                return None
+            ordered.append(row)
+        total = len(ordered)
+        return ExperimentResult(
+            name=spec.name,
+            spec=manifest["spec"],
+            spec_hash=manifest["spec_hash"],
+            rows=tuple(ordered),
+            elapsed_seconds=float(manifest.get("elapsed_seconds", 0.0)),
+            from_cache=True,
+            meta={
+                "cells_total": total,
+                "cells_computed": 0,
+                "cells_from_cache": total,
+                "artifacts_written": 0,
+                "artifact_bytes_written": 0,
+            },
+        )
+
+    def load_partial(self, spec: ScenarioSpec) -> dict[str, CellResult]:
+        """Completed cells of a partial (or complete) entry, keyed by cell key.
+
+        Artifact side-files are verified eagerly here — a resumed run must
+        not build on tampered or truncated payloads, so any row whose
+        artifact fails verification is dropped (and will be recomputed).
+        """
+        manifest = self._read_manifest(spec)
+        if manifest is None:
+            return {}
+        rows_by_key = self._rows_from_manifest(spec, manifest)
+        if rows_by_key is None:
+            return {}
+        intact: dict[str, CellResult] = {}
+        for key, row in rows_by_key.items():
+            if isinstance(row.artifact, ArtifactRef):
+                try:
+                    row.artifact.verify()
+                except ArtifactIntegrityError as error:
+                    logger.warning(
+                        "dropping cached cell %s from the resume state: %s", key, error
+                    )
+                    continue
+            intact[key] = row
+        return intact
+
+    def _read_manifest(self, spec: ScenarioSpec) -> dict | None:
+        path = self.manifest_path(spec)
         if not path.exists():
             return None
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            logger.warning(
+                "treating unreadable cache manifest %s as a miss: %s", path, error
+            )
             return None
-        if payload.get("spec_hash") != spec.hash():
+        if not isinstance(manifest, dict) or manifest.get("spec_hash") != spec.hash():
+            logger.warning(
+                "cache manifest %s does not match the requested spec hash %s; "
+                "treating it as a miss", path, spec.hash(),
+            )
             return None
+        return manifest
+
+    def _rows_from_manifest(
+        self, spec: ScenarioSpec, manifest: dict
+    ) -> dict[str, CellResult] | None:
+        directory = self.path(spec)
         try:
-            return ExperimentResult.from_dict(payload, from_cache=True)
-        except (KeyError, TypeError, ValueError):
+            rows: dict[str, CellResult] = {}
+            for record in manifest["rows"]:
+                row = CellResult.from_dict(record)
+                if record.get("artifact") is not None:
+                    row = row.with_artifact(
+                        ArtifactRef.from_dict(record["artifact"], directory)
+                    )
+                rows[record["key"]] = row
+            return rows
+        except (KeyError, TypeError, ValueError) as error:
+            logger.warning(
+                "treating malformed cache manifest in %s as a miss: %s", directory, error
+            )
             return None
 
+    def _load_legacy(self, spec: ScenarioSpec) -> ExperimentResult | None:
+        path = self.legacy_path(spec)
+        if not path.exists():
+            return None
+        # The single-file format carried scalar metrics only; scenarios whose
+        # solvers now attach artifacts (and, for mtrace1, grew new metrics)
+        # cannot be satisfied by such an entry — recompute instead of serving
+        # rows that crash artifact/metric accessors downstream.
+        if any(solver.kind in ARTIFACT_SOLVERS for solver in spec.solvers):
+            logger.warning(
+                "legacy cache entry %s predates the artifact schema required by "
+                "scenario %s; treating it as a miss", path, spec.name,
+            )
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            logger.warning(
+                "treating unreadable legacy cache entry %s as a miss: %s", path, error
+            )
+            return None
+        if not isinstance(payload, dict) or payload.get("spec_hash") != spec.hash():
+            return None
+        try:
+            result = ExperimentResult.from_dict(payload, from_cache=True)
+        except (KeyError, TypeError, ValueError) as error:
+            logger.warning(
+                "treating malformed legacy cache entry %s as a miss: %s", path, error
+            )
+            return None
+        total = len(result.rows)
+        return replace(
+            result,
+            meta={
+                "cells_total": total,
+                "cells_computed": 0,
+                "cells_from_cache": total,
+                "artifacts_written": 0,
+                "artifact_bytes_written": 0,
+                "legacy_entry": True,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Write
+    # ------------------------------------------------------------------
+    def writer(
+        self, spec: ScenarioSpec, resumed: dict[str, CellResult] | None = None
+    ) -> "CacheWriter":
+        """Incremental writer for ``spec``'s run directory."""
+        return CacheWriter(self, spec, resumed or {})
+
     def store(self, result: ExperimentResult, spec: ScenarioSpec) -> Path:
-        """Write ``result`` for ``spec``; returns the cache file path."""
+        """Write a finished ``result`` for ``spec`` in one call.
+
+        Convenience wrapper over :meth:`writer` for callers that do not
+        stream (tests, ad-hoc scripts); returns the run directory.
+        """
+        writer = self.writer(spec)
+        for row in result.rows:
+            writer.add(cell_key(spec.name, row.solver, row.params, row.replication), row)
+        writer.finalize(result.elapsed_seconds)
+        return self.path(spec)
+
+    # ------------------------------------------------------------------
+    # Inventory / maintenance (the ``cache`` CLI surface)
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntryInfo]:
+        """Every entry in the cache directory, new-format and legacy."""
+        if not self.directory.exists():
+            return []
+        infos = []
+        for child in sorted(self.directory.iterdir()):
+            info = self._describe_entry(child)
+            if info is not None:
+                infos.append(info)
+        return infos
+
+    def _describe_entry(self, child: Path) -> CacheEntryInfo | None:
+        # Only children whose name matches ``<scenario>-<16-hex-hash>`` are
+        # cache entries; anything else (a mispointed --cache-dir full of
+        # source trees, unrelated files) is invisible to ls/rm/gc — gc must
+        # never be able to rmtree a directory this store did not create.
+        name, spec_hash = _split_entry_name(child.name.removesuffix(".json"))
+        if not spec_hash:
+            return None
+        if child.is_dir():
+            manifest_path = child / _MANIFEST
+            total_bytes = sum(f.stat().st_size for f in child.iterdir() if f.is_file())
+            mtime = child.stat().st_mtime
+            try:
+                manifest = json.loads(manifest_path.read_text())
+                rows = manifest["rows"]
+                return CacheEntryInfo(
+                    name=manifest.get("name", name),
+                    spec_hash=manifest.get("spec_hash", spec_hash),
+                    path=child,
+                    status=manifest.get("status", "corrupt"),
+                    cells=len(rows),
+                    artifacts=sum(1 for r in rows if r.get("artifact") is not None),
+                    total_bytes=total_bytes,
+                    mtime=manifest_path.stat().st_mtime,
+                )
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                return CacheEntryInfo(
+                    name=name, spec_hash=spec_hash, path=child, status="corrupt",
+                    cells=0, artifacts=0, total_bytes=total_bytes, mtime=mtime,
+                )
+        if child.is_file() and child.suffix == ".json":
+            try:
+                payload = json.loads(child.read_text())
+                if not isinstance(payload, dict) or "spec_hash" not in payload:
+                    return None
+                return CacheEntryInfo(
+                    name=payload.get("name", name),
+                    spec_hash=payload.get("spec_hash", spec_hash),
+                    path=child,
+                    status="legacy",
+                    cells=len(payload.get("rows", [])),
+                    artifacts=0,
+                    total_bytes=child.stat().st_size,
+                    mtime=child.stat().st_mtime,
+                )
+            except (OSError, json.JSONDecodeError):
+                return CacheEntryInfo(
+                    name=name, spec_hash=spec_hash, path=child, status="corrupt",
+                    cells=0, artifacts=0, total_bytes=child.stat().st_size,
+                    mtime=child.stat().st_mtime,
+                )
+        return None
+
+    def remove(self, scenario: str) -> list[CacheEntryInfo]:
+        """Remove every entry (any spec hash) of the named scenario."""
+        removed = []
+        for info in self.entries():
+            if info.name == scenario:
+                _remove_entry_path(info.path)
+                removed.append(info)
+        return removed
+
+    def gc(
+        self,
+        current_hashes: dict[str, str] | None = None,
+        max_age_days: float | None = None,
+    ) -> GcReport:
+        """Prune stale entries and orphan side-files.
+
+        * entries of a scenario in ``current_hashes`` whose hash differs from
+          the current spec hash (the spec changed, the entry can never be
+          served again),
+        * entries older than ``max_age_days``,
+        * corrupt remnants (entry-named paths with an unreadable manifest)
+          that have been sitting for at least an hour — the grace period
+          protects a concurrent run whose directory exists but whose first
+          manifest write has not landed yet,
+        * side-files inside live run directories that no manifest references
+          (left behind by a kill between an artifact write and the manifest
+          rewrite).
+
+        Only paths named ``<scenario>-<16-hex-hash>`` are ever touched.
+        """
+        current_hashes = current_hashes or {}
+        removed_entries: list[str] = []
+        removed_orphans = 0
+        freed = 0
+        for info in self.entries():
+            stale_hash = (
+                info.name in current_hashes and info.spec_hash != current_hashes[info.name]
+            )
+            too_old = (
+                max_age_days is not None
+                and info.age_seconds > max_age_days * 86400.0
+            )
+            corrupt = info.status == "corrupt" and info.age_seconds > _CORRUPT_GRACE_SECONDS
+            if stale_hash or too_old or corrupt:
+                freed += info.total_bytes
+                _remove_entry_path(info.path)
+                removed_entries.append(info.path.name)
+                continue
+            if info.path.is_dir():
+                orphans, orphan_bytes = self._prune_orphans(info.path)
+                removed_orphans += orphans
+                freed += orphan_bytes
+        return GcReport(tuple(removed_entries), removed_orphans, freed)
+
+    @staticmethod
+    def _prune_orphans(entry_dir: Path) -> tuple[int, int]:
+        try:
+            manifest = json.loads((entry_dir / _MANIFEST).read_text())
+            referenced = {
+                record["artifact"]["file"]
+                for record in manifest["rows"]
+                if record.get("artifact") is not None
+            }
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return 0, 0
+        removed = 0
+        freed = 0
+        for child in entry_dir.iterdir():
+            if child.name == _MANIFEST or not child.is_file():
+                continue
+            if child.name not in referenced:
+                freed += child.stat().st_size
+                child.unlink()
+                removed += 1
+        return removed, freed
+
+
+def _split_entry_name(stem: str) -> tuple[str, str]:
+    if len(stem) > _HASH_LEN + 1 and stem[-_HASH_LEN - 1] == "-":
+        candidate = stem[-_HASH_LEN:]
+        if re.fullmatch(r"[0-9a-f]+", candidate):
+            return stem[: -_HASH_LEN - 1], candidate
+    return stem, ""
+
+
+def _remove_entry_path(path: Path) -> None:
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        path.unlink(missing_ok=True)
+
+
+class CacheWriter:
+    """Streams completed cells into one run directory.
+
+    Each :meth:`add` writes the cell's artifact side-file (if any) and
+    atomically rewrites the manifest with ``status: "partial"``;
+    :meth:`finalize` flips the status to ``complete``.  A run killed at any
+    point therefore leaves a loadable partial entry.
+    """
+
+    def __init__(
+        self, cache: ResultCache, spec: ScenarioSpec, resumed: dict[str, CellResult]
+    ) -> None:
+        self.cache = cache
+        self.spec = spec
+        self.directory = cache.path(spec)
+        self.artifacts_written = 0
+        self.bytes_written = 0
+        self._records: dict[str, dict] = {}
+        for key, row in resumed.items():
+            self._records[key] = self._record(key, row)
+
+    def add(self, key: str, row: CellResult, keep_in_memory: bool = False) -> CellResult:
+        """Persist one completed cell; returns the row to hand back.
+
+        The returned row carries an :class:`ArtifactRef` in place of the
+        in-memory artifact unless ``keep_in_memory`` asks to keep the decoded
+        object on the row (the cache side-file is written either way).
+        """
+        stored = row
+        if row.artifact is not None and not isinstance(row.artifact, ArtifactRef):
+            ref = write_artifact(row.artifact, self.directory, _artifact_stem(key))
+            self.artifacts_written += 1
+            self.bytes_written += ref.nbytes
+            stored = row if keep_in_memory else row.with_artifact(ref)
+            self._records[key] = self._record(key, row.with_artifact(ref))
+        else:
+            self._records[key] = self._record(key, row)
+        self._write_manifest(status="partial")
+        return stored
+
+    def finalize(self, elapsed_seconds: float) -> Path:
+        self._write_manifest(status="complete", elapsed_seconds=elapsed_seconds)
+        return self.directory
+
+    def _record(self, key: str, row: CellResult) -> dict:
+        record = row.to_dict()
+        record["key"] = key
+        record["artifact"] = (
+            row.artifact.to_dict() if isinstance(row.artifact, ArtifactRef) else None
+        )
+        return record
+
+    def _write_manifest(self, status: str, elapsed_seconds: float = 0.0) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path(spec)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(result.to_json())
-        os.replace(tmp, path)
-        return path
+        manifest = {
+            "format": _FORMAT,
+            "name": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec.hash(),
+            "status": status,
+            "elapsed_seconds": elapsed_seconds,
+            "rows": list(self._records.values()),
+        }
+        # The manifest is rewritten after every cell (that is what makes a
+        # kill recoverable), so the streaming rewrites stay compact; only the
+        # final document is pretty-printed for human readers.
+        if status == "complete":
+            text = json.dumps(manifest, indent=2, sort_keys=True)
+        else:
+            text = json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+        _atomic_write_text(self.directory / _MANIFEST, text)

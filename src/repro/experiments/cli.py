@@ -9,12 +9,21 @@
     python -m repro.experiments sweep fig9 --populations 50,100,200
                                          [--think-times 0.5,1.0]
                                          [--solvers ctmc,mva] [...]
+    python -m repro.experiments cache ls [--cache-dir DIR]
+    python -m repro.experiments cache rm <scenario> [--cache-dir DIR]
+    python -m repro.experiments cache gc [--max-age-days D] [--cache-dir DIR]
 
 ``run`` executes (or loads from the cache) a registered scenario and prints
-one table per solver, with the per-cell wall-clock time in the last column.
-``sweep`` derives an ad-hoc grid from a registered workload — overriding its
-population axis, think time and solver set — and runs it through the same
-engine (one derived scenario per requested think time).  The cache lives in
+one table per solver, with the per-cell wall-clock time in the last column;
+the summary line reports how many cells were computed vs served from the
+cache and how many artifact bytes were written.  ``sweep`` derives an ad-hoc
+grid from a registered workload — overriding its population axis, think time
+and solver set — and runs it through the same engine (one derived scenario
+per requested think time).  ``cache`` inspects and maintains the on-disk
+run-directory store: ``ls`` reports entry sizes and ages, ``rm`` drops every
+entry of one scenario, and ``gc`` prunes entries whose spec hash no longer
+matches the registered scenario, corrupt remnants, orphan side-files and
+(with ``--max-age-days``) old entries.  The cache lives in
 ``./.experiments-cache`` unless overridden by ``--cache-dir`` or the
 ``REPRO_EXPERIMENTS_CACHE`` environment variable.
 """
@@ -25,8 +34,12 @@ import argparse
 import sys
 from dataclasses import replace
 
-from repro.experiments.cache import default_cache_dir
-from repro.experiments.registry import get_scenario, list_scenarios, scenario_descriptions
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.registry import (
+    get_scenario,
+    list_scenarios,
+    scenario_descriptions,
+)
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import (
@@ -159,6 +172,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: the base scenario's solvers)",
     )
     _add_runner_arguments(sweep)
+
+    cache = commands.add_parser("cache", help="inspect and maintain the result cache")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_commands.add_parser("ls", help="list cache entries with sizes and ages")
+    cache_rm = cache_commands.add_parser("rm", help="remove every entry of one scenario")
+    cache_rm.add_argument("scenario", help="scenario name whose entries to remove")
+    cache_gc = cache_commands.add_parser(
+        "gc", help="prune stale spec-hashes, corrupt entries and orphan side-files"
+    )
+    cache_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="additionally remove entries older than this many days",
+    )
+    for command in (cache_ls, cache_rm, cache_gc):
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache directory (default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
+        )
     return parser
 
 
@@ -211,9 +245,25 @@ def _print_result(result: ExperimentResult) -> None:
         print()
 
 
+def _format_bytes(num_bytes: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if num_bytes < 1024.0 or unit == "GiB":
+            return f"{num_bytes:.1f} {unit}" if unit != "B" else f"{int(num_bytes)} B"
+        num_bytes /= 1024.0
+    return f"{num_bytes:.1f} GiB"  # pragma: no cover - loop always returns
+
+
 def _print_run_outcome(spec: ScenarioSpec, result: ExperimentResult, runner, cache_dir) -> None:
     source = "cache" if result.from_cache else f"computed in {result.elapsed_seconds:.1f}s"
-    print(f"scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells ({source})")
+    meta = result.meta
+    accounting = ""
+    if meta:
+        accounting = (
+            f"; {meta.get('cells_computed', 0)} computed, "
+            f"{meta.get('cells_from_cache', 0)} cached, "
+            f"{_format_bytes(meta.get('artifact_bytes_written', 0))} of artifacts written"
+        )
+    print(f"scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells ({source}{accounting})")
     print()
     _print_result(result)
     if cache_dir is not None and not result.from_cache:
@@ -298,10 +348,71 @@ def _cmd_sweep(args, base: ScenarioSpec) -> int:
     return 0
 
 
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.0f}h"
+    return f"{seconds / 86400:.0f}d"
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.cache_command == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache {cache.directory} is empty")
+            return 0
+        rows = [
+            (
+                info.name,
+                info.spec_hash or "-",
+                info.status,
+                info.cells,
+                info.artifacts,
+                _format_bytes(info.total_bytes),
+                _format_age(info.age_seconds),
+            )
+            for info in entries
+        ]
+        print(format_table(
+            ["scenario", "spec hash", "status", "cells", "artifacts", "size", "age"], rows
+        ))
+        total = sum(info.total_bytes for info in entries)
+        print(f"\n{len(entries)} entries, {_format_bytes(total)} in {cache.directory}")
+        return 0
+    if args.cache_command == "rm":
+        removed = cache.remove(args.scenario)
+        if not removed:
+            print(f"no cache entries for scenario {args.scenario!r} in {cache.directory}")
+            return 1
+        freed = sum(info.total_bytes for info in removed)
+        for info in removed:
+            print(f"removed {info.path.name} ({_format_bytes(info.total_bytes)})")
+        print(f"freed {_format_bytes(freed)}")
+        return 0
+    # gc: entries whose spec hash no longer matches the registered scenario
+    # can never be served again — prune them along with corrupt remnants,
+    # orphan side-files and (optionally) anything older than --max-age-days.
+    current_hashes = {name: get_scenario(name).hash() for name in list_scenarios()}
+    report = cache.gc(current_hashes=current_hashes, max_age_days=args.max_age_days)
+    for name in report.removed_entries:
+        print(f"removed {name}")
+    print(
+        f"gc: {len(report.removed_entries)} entries and {report.removed_orphans} orphan "
+        f"side-files removed, {_format_bytes(report.freed_bytes)} freed"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "cache":
+        return _cmd_cache(args)
     try:
         spec = get_scenario(args.scenario)
     except KeyError as error:

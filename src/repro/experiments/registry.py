@@ -13,6 +13,8 @@ name                what it reproduces / explores
 ``fig11``           monitoring-granularity study (Z_estim = 0.5 s vs 7 s)
 ``fig12``           the headline MAP-model vs MVA vs measured comparison
 ``table1``          M/Trace/1 response times of the Figure-1 traces
+``estimation``      Z_estim = 0.5 s monitoring runs behind the fitted models
+``granularity_*``   the Figure-11 estimation runs (``_fine`` 0.5 s, ``_coarse`` 7 s)
 ``grid_burstiness`` synthetic burstiness x population x variability grid
 ``grid_variability``synthetic service-variability sweep (renewal case)
 ``smoke``           tiny analytic-only scenario (fast engine self-check)
@@ -46,6 +48,7 @@ __all__ = [
     "list_scenarios",
     "scenario_descriptions",
     "tpcw_sweep_scenario",
+    "monitoring_scenario",
     "PAPER_SCENARIOS",
     "EB_VALUES",
 ]
@@ -143,12 +146,80 @@ def tpcw_sweep_scenario(
     )
 
 
+def monitoring_scenario(
+    name: str,
+    mixes: tuple[str, ...],
+    think_time: float,
+    duration: float,
+    num_ebs: int = 50,
+    warmup: float = 60.0,
+    seed: int = 21,
+    description: str = "",
+) -> ScenarioSpec:
+    """A Section-4.2 monitoring run: one long testbed run per mix.
+
+    The full :class:`~repro.tpcw.testbed.TestbedResult` of each run is the
+    cell artifact, so the model-building fixtures (estimation datasets,
+    granularity studies) are engine scenarios like everything else and their
+    monitoring series are cache-served from npz side-files on re-runs.
+    """
+    return ScenarioSpec(
+        name=name,
+        description=description
+        or f"monitoring runs ({num_ebs} EBs, Z_estim = {think_time:g} s) over "
+        f"{', '.join(mixes)}",
+        workload=TestbedWorkload(
+            mixes=tuple(dict.fromkeys(mixes)),
+            populations=(num_ebs,),
+            think_time=think_time,
+            duration=duration,
+            warmup=warmup,
+        ),
+        solvers=(SolverSpec(kind="testbed"),),
+        replication=ReplicationPolicy(replications=1, base_seed=seed, policy="shared"),
+    )
+
+
+def _estimation() -> ScenarioSpec:
+    return monitoring_scenario(
+        "estimation",
+        mixes=("browsing", "shopping", "ordering"),
+        think_time=MODEL_THINK_TIME,
+        duration=800.0,
+        seed=21,
+        description="Z_estim = 0.5 s monitoring runs that parameterise the fitted "
+        "models of Figure 12",
+    )
+
+
+def _granularity_fine() -> ScenarioSpec:
+    return monitoring_scenario(
+        "granularity_fine",
+        mixes=("browsing",),
+        think_time=0.5,
+        duration=800.0,
+        seed=23,
+        description="Figure 11 estimation run at fine granularity (Z_estim = 0.5 s)",
+    )
+
+
+def _granularity_coarse() -> ScenarioSpec:
+    return monitoring_scenario(
+        "granularity_coarse",
+        mixes=("browsing",),
+        think_time=7.0,
+        duration=2500.0,
+        seed=23,
+        description="Figure 11 estimation run at coarse granularity (Z_estim = 7 s)",
+    )
+
+
 def _timeseries_scenario(name: str, figure: str) -> Callable[[], ScenarioSpec]:
     def factory() -> ScenarioSpec:
         return ScenarioSpec(
             name=name,
-            description=f"100-EB monitoring runs behind Figure {figure} (per-second series "
-            "are available as artifacts when run with keep_artifacts)",
+            description=f"100-EB monitoring runs behind Figure {figure} (the per-second "
+            "series are the cells' testbed artifacts)",
             workload=TestbedWorkload(
                 mixes=("browsing", "shopping", "ordering"),
                 populations=(100,),
@@ -321,6 +392,9 @@ register_scenario("fig10", _fig10)
 register_scenario("fig11", _fig11)
 register_scenario("fig12", _fig12)
 register_scenario("table1", _table1)
+register_scenario("estimation", _estimation)
+register_scenario("granularity_fine", _granularity_fine)
+register_scenario("granularity_coarse", _granularity_coarse)
 register_scenario("grid_burstiness", _grid_burstiness)
 register_scenario("grid_variability", _grid_variability)
 register_scenario("smoke", _smoke)

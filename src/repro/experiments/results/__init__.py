@@ -1,0 +1,46 @@
+"""Typed results of the experiment engine: schema + per-cell artifacts.
+
+The package splits into two layers:
+
+* :mod:`~repro.experiments.results.schema` — the :class:`CellResult` /
+  :class:`ExperimentResult` documents every run produces, including the
+  artifact-backed accessors (``testbed_runs_by_mix``,
+  ``sweep_points_by_mix``) that older call-sites consumed via the retired
+  ``adapters`` module,
+* :mod:`~repro.experiments.results.artifacts` — the codecs that persist rich
+  per-cell payloads (npz for array/time-series data such as
+  :class:`~repro.tpcw.testbed.TestbedResult`, JSON for small structures) as
+  integrity-checked side-files in the run-directory cache.
+
+``from repro.experiments.results import CellResult`` keeps working exactly
+as it did when ``results`` was a single module.
+"""
+
+from repro.experiments.results.artifacts import (
+    ArtifactCodecError,
+    ArtifactIntegrityError,
+    ArtifactRef,
+    JsonArtifactCodec,
+    NpzArtifactCodec,
+    TestbedResultCodec,
+    codec_by_kind,
+    codec_for,
+    register_artifact_codec,
+    write_artifact,
+)
+from repro.experiments.results.schema import CellResult, ExperimentResult
+
+__all__ = [
+    "ArtifactCodecError",
+    "ArtifactIntegrityError",
+    "ArtifactRef",
+    "CellResult",
+    "ExperimentResult",
+    "JsonArtifactCodec",
+    "NpzArtifactCodec",
+    "TestbedResultCodec",
+    "codec_by_kind",
+    "codec_for",
+    "register_artifact_codec",
+    "write_artifact",
+]

@@ -1,0 +1,371 @@
+"""Typed per-cell artifacts: codecs, integrity-checked references, atomic IO.
+
+An *artifact* is the rich, non-scalar payload a solver may attach to a cell
+result — the full :class:`~repro.tpcw.testbed.TestbedResult` of a testbed
+run, per-request response-time arrays of a trace simulation, or any small
+JSON-serialisable structure.  Artifacts are persisted next to the run's
+manifest as *side-files*, one per cell, encoded by a codec chosen from the
+artifact's type:
+
+``testbed_result``
+    The complete testbed monitoring bundle (config, per-server series,
+    tracked in-system counts, aggregates) as a single ``.npz`` file.
+``npz``
+    A ``numpy`` array, or a flat mapping of names to arrays, saved
+    losslessly with :func:`numpy.savez_compressed`.
+``json``
+    Any JSON-serialisable structure (dicts/lists/scalars).
+
+Every side-file is written atomically (temp file + ``os.replace``) and its
+SHA-256 digest is recorded in the run manifest.  :class:`ArtifactRef` — the
+lazy handle stored on cached rows — re-verifies the digest on every load, so
+a tampered or truncated side-file raises :class:`ArtifactIntegrityError`
+instead of silently feeding corrupt data into an analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ArtifactCodecError",
+    "ArtifactIntegrityError",
+    "ArtifactRef",
+    "JsonArtifactCodec",
+    "NpzArtifactCodec",
+    "TestbedResultCodec",
+    "codec_by_kind",
+    "codec_for",
+    "register_artifact_codec",
+    "write_artifact",
+]
+
+
+class ArtifactCodecError(TypeError):
+    """No registered codec can encode the given artifact."""
+
+
+class ArtifactIntegrityError(RuntimeError):
+    """An artifact side-file does not match its recorded SHA-256 digest."""
+
+
+# ----------------------------------------------------------------------
+# Codecs
+# ----------------------------------------------------------------------
+def _json_safe(obj: Any) -> bool:
+    if obj is None or isinstance(obj, (str, bool, int, float)):
+        return True
+    if isinstance(obj, (list, tuple)):
+        return all(_json_safe(item) for item in obj)
+    if isinstance(obj, dict):
+        return all(isinstance(k, str) and _json_safe(v) for k, v in obj.items())
+    return False
+
+
+class JsonArtifactCodec:
+    """Small structured artifacts: anything that survives ``json`` losslessly."""
+
+    kind = "json"
+    extension = ".json"
+
+    def handles(self, obj: Any) -> bool:
+        return _json_safe(obj)
+
+    def encode(self, obj: Any) -> bytes:
+        return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+    def decode(self, data: bytes) -> Any:
+        return json.loads(data.decode("utf-8"))
+
+
+class NpzArtifactCodec:
+    """Array payloads: one ``ndarray`` or a flat ``{name: ndarray}`` mapping.
+
+    Arrays round-trip bit-exactly — ``savez_compressed`` is lossless (zlib
+    over the raw buffer), so ``decode(encode(x))`` compares equal down to the
+    last ULP and dtype.
+    """
+
+    kind = "npz"
+    extension = ".npz"
+    _SINGLE = "__array__"
+
+    def handles(self, obj: Any) -> bool:
+        if isinstance(obj, np.ndarray):
+            return True
+        return (
+            isinstance(obj, dict)
+            and bool(obj)
+            and all(
+                isinstance(key, str) and isinstance(value, np.ndarray)
+                for key, value in obj.items()
+            )
+        )
+
+    def encode(self, obj: Any) -> bytes:
+        arrays = {self._SINGLE: obj} if isinstance(obj, np.ndarray) else dict(obj)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        return buffer.getvalue()
+
+    def decode(self, data: bytes) -> Any:
+        with np.load(io.BytesIO(data), allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        if set(arrays) == {self._SINGLE}:
+            return arrays[self._SINGLE]
+        return arrays
+
+
+class TestbedResultCodec:
+    """The full testbed monitoring bundle as one ``.npz`` side-file.
+
+    The monitoring series, tracked in-system counts and contention episodes
+    are stored as arrays; the configuration and scalar aggregates travel in
+    an embedded JSON document (``__meta__``), so a cached time-series figure
+    can be replotted without re-simulating anything.
+    """
+
+    kind = "testbed_result"
+    extension = ".npz"
+    _META = "__meta__"
+
+    def handles(self, obj: Any) -> bool:
+        from repro.tpcw.testbed import TestbedResult
+
+        return isinstance(obj, TestbedResult)
+
+    def encode(self, obj: Any) -> bytes:
+        config = obj.config
+        tracked_names = list(obj.tracked_in_system)
+        meta = {
+            "config": {
+                "mix": {"name": config.mix.name, "weights": dict(config.mix.weights)},
+                "num_ebs": config.num_ebs,
+                "think_time": config.think_time,
+                "duration": config.duration,
+                "warmup": config.warmup,
+                "utilization_window": config.utilization_window,
+                "completion_window": config.completion_window,
+                "contention": {
+                    "normal_mean_duration": config.contention.normal_mean_duration,
+                    "contention_mean_duration": config.contention.contention_mean_duration,
+                    "cascade_coefficient": config.contention.cascade_coefficient,
+                    "cascade_threshold": config.contention.cascade_threshold,
+                    "cascade_cap": config.contention.cascade_cap,
+                    "enabled": config.contention.enabled,
+                },
+                "tracked_transactions": list(config.tracked_transactions),
+                "cbmg_stickiness": config.cbmg_stickiness,
+                "seed": config.seed,
+            },
+            "series": {
+                "front": self._series_meta(obj.front),
+                "database": self._series_meta(obj.database),
+            },
+            "tracked_names": tracked_names,
+            "throughput": obj.throughput,
+            "completed_transactions": obj.completed_transactions,
+            "transaction_counts": dict(obj.transaction_counts),
+            "mean_response_time": obj.mean_response_time,
+        }
+        arrays: dict[str, np.ndarray] = {self._META: np.array(json.dumps(meta))}
+        for prefix, series in (("front", obj.front), ("database", obj.database)):
+            arrays[f"{prefix}_utilization"] = series.utilization
+            arrays[f"{prefix}_completions"] = series.completions
+            arrays[f"{prefix}_queue_length"] = series.queue_length
+        for index, name in enumerate(tracked_names):
+            arrays[f"tracked_{index}"] = np.asarray(obj.tracked_in_system[name])
+        arrays["contention_episodes"] = np.asarray(
+            obj.contention_episodes, dtype=float
+        ).reshape(-1, 2)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        return buffer.getvalue()
+
+    def decode(self, data: bytes) -> Any:
+        from repro.monitoring.collector import MonitoringSeries
+        from repro.tpcw.contention import ContentionConfig
+        from repro.tpcw.mixes import TransactionMix
+        from repro.tpcw.testbed import TestbedConfig, TestbedResult
+
+        with np.load(io.BytesIO(data), allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        meta = json.loads(str(arrays[self._META].item()))
+        config_meta = meta["config"]
+        config = TestbedConfig(
+            mix=TransactionMix(
+                name=config_meta["mix"]["name"], weights=dict(config_meta["mix"]["weights"])
+            ),
+            num_ebs=int(config_meta["num_ebs"]),
+            think_time=config_meta["think_time"],
+            duration=config_meta["duration"],
+            warmup=config_meta["warmup"],
+            utilization_window=config_meta["utilization_window"],
+            completion_window=config_meta["completion_window"],
+            contention=ContentionConfig(**config_meta["contention"]),
+            tracked_transactions=tuple(config_meta["tracked_transactions"]),
+            cbmg_stickiness=config_meta["cbmg_stickiness"],
+            seed=config_meta["seed"],
+        )
+
+        def series(prefix: str, key: str) -> MonitoringSeries:
+            series_meta = meta["series"][key]
+            return MonitoringSeries(
+                name=series_meta["name"],
+                utilization_window=series_meta["utilization_window"],
+                utilization=arrays[f"{prefix}_utilization"],
+                completion_window=series_meta["completion_window"],
+                completions=arrays[f"{prefix}_completions"],
+                queue_length=arrays[f"{prefix}_queue_length"],
+            )
+
+        tracked = {
+            name: arrays[f"tracked_{index}"]
+            for index, name in enumerate(meta["tracked_names"])
+        }
+        episodes = tuple(
+            (float(start), float(end)) for start, end in arrays["contention_episodes"]
+        )
+        return TestbedResult(
+            config=config,
+            front=series("front", "front"),
+            database=series("database", "database"),
+            tracked_in_system=tracked,
+            throughput=meta["throughput"],
+            completed_transactions=int(meta["completed_transactions"]),
+            transaction_counts={k: int(v) for k, v in meta["transaction_counts"].items()},
+            mean_response_time=meta["mean_response_time"],
+            contention_episodes=episodes,
+        )
+
+    @staticmethod
+    def _series_meta(series) -> dict:
+        return {
+            "name": series.name,
+            "utilization_window": series.utilization_window,
+            "completion_window": series.completion_window,
+        }
+
+
+# Dispatch order matters: the most specific codec first, JSON as the final
+# fallback (a dict of arrays must reach the npz codec, not the JSON one).
+_CODECS: list[Any] = [TestbedResultCodec(), NpzArtifactCodec(), JsonArtifactCodec()]
+
+
+def register_artifact_codec(codec, prepend: bool = True) -> None:
+    """Register a codec; by default it takes precedence over the built-ins."""
+    if prepend:
+        _CODECS.insert(0, codec)
+    else:
+        _CODECS.append(codec)
+
+
+def codec_for(obj: Any):
+    """The first registered codec whose :meth:`handles` accepts ``obj``."""
+    for codec in _CODECS:
+        if codec.handles(obj):
+            return codec
+    raise ArtifactCodecError(
+        f"no artifact codec can serialise {type(obj).__name__!r}; register one "
+        "with repro.experiments.results.register_artifact_codec"
+    )
+
+
+def codec_by_kind(kind: str):
+    for codec in _CODECS:
+        if codec.kind == kind:
+            return codec
+    raise ArtifactCodecError(f"unknown artifact codec kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# References and IO
+# ----------------------------------------------------------------------
+@dataclass
+class ArtifactRef:
+    """Lazy, integrity-checked handle to an artifact side-file.
+
+    Cached rows carry references instead of decoded payloads, so loading a
+    large run costs one manifest read until an analysis actually asks for a
+    cell's series.  :meth:`load` verifies the recorded SHA-256 digest before
+    decoding and memoises the decoded object.
+    """
+
+    path: Path
+    kind: str
+    sha256: str
+    nbytes: int
+    _cached: Any = field(default=None, repr=False, compare=False)
+
+    def load(self) -> Any:
+        if self._cached is not None:
+            return self._cached
+        self._cached = codec_by_kind(self.kind).decode(self._verified_bytes())
+        return self._cached
+
+    def verify(self) -> None:
+        """Check the side-file against the recorded digest without decoding.
+
+        Used on the resume path, where every completed cell must be intact
+        but decoding (and memoising) all payloads up front would cost
+        O(total artifact size) memory for nothing.
+        """
+        self._verified_bytes()
+
+    def _verified_bytes(self) -> bytes:
+        try:
+            data = Path(self.path).read_bytes()
+        except OSError as error:
+            raise ArtifactIntegrityError(
+                f"artifact side-file {self.path} is unreadable: {error}"
+            ) from error
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != self.sha256:
+            raise ArtifactIntegrityError(
+                f"artifact side-file {self.path} fails verification: manifest "
+                f"records sha256 {self.sha256}, file hashes to {digest}"
+            )
+        return data
+
+    def to_dict(self) -> dict:
+        return {
+            "file": Path(self.path).name,
+            "kind": self.kind,
+            "sha256": self.sha256,
+            "bytes": self.nbytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, directory: Path) -> "ArtifactRef":
+        return cls(
+            path=Path(directory) / payload["file"],
+            kind=payload["kind"],
+            sha256=payload["sha256"],
+            nbytes=int(payload["bytes"]),
+        )
+
+
+def write_artifact(obj: Any, directory: Path, stem: str) -> ArtifactRef:
+    """Encode ``obj`` and atomically write it to ``directory/<stem><ext>``."""
+    codec = codec_for(obj)
+    data = codec.encode(obj)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{stem}{codec.extension}"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+    return ArtifactRef(
+        path=path,
+        kind=codec.kind,
+        sha256=hashlib.sha256(data).hexdigest(),
+        nbytes=len(data),
+    )

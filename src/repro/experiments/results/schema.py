@@ -1,15 +1,20 @@
 """Shared result schema of the experiment engine.
 
 Every cell of a scenario grid produces one :class:`CellResult` — the solver
-that ran, the cell's grid coordinates, the seed it used and a flat dictionary
-of scalar metrics.  A whole run is an :class:`ExperimentResult`, which embeds
-the spec it was produced from (and the spec's content hash, so a cached
-result can be checked against the spec that requests it).
+that ran, the cell's grid coordinates, the seed it used, a flat dictionary of
+scalar metrics and (for solvers that produce one) a rich *artifact*.  A whole
+run is an :class:`ExperimentResult`, which embeds the spec it was produced
+from (and the spec's content hash, so a cached result can be checked against
+the spec that requests it) plus a ``meta`` dictionary of run accounting
+(cache hits, artifact bytes written).
 
-Rich per-cell artifacts (e.g. the full
-:class:`~repro.tpcw.testbed.TestbedResult` with its monitoring series) are
-kept in memory when the runner is asked to (``keep_artifacts=True``) but are
-never serialised: the JSON form carries scalar metrics only.
+Artifacts are typed payloads (see
+:mod:`repro.experiments.results.artifacts`): a row holds either the decoded
+object itself (fresh in-process run) or a lazy :class:`ArtifactRef` into the
+run directory of the on-disk cache; :meth:`CellResult.load_artifact`
+materialises either transparently.  The JSON form of a result still carries
+scalar metrics only — artifact payloads live in side-files next to the run
+manifest, never inline.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, replace
 from typing import Any
+
+from repro.experiments.results.artifacts import ArtifactRef
 
 __all__ = ["CellResult", "ExperimentResult"]
 
@@ -28,7 +35,8 @@ class CellResult:
     ``elapsed_seconds`` is the wall-clock cost of executing the cell; it is
     serialised with the result (so cached documents keep their original
     timings) but excluded from equality, which compares what was computed,
-    not how long it took.
+    not how long it took.  ``artifact`` holds the solver's rich payload — the
+    decoded object, an :class:`ArtifactRef` into the cache, or ``None``.
     """
 
     solver: str
@@ -48,8 +56,31 @@ class CellResult:
             )
         return self.metrics[name]
 
+    @property
+    def has_artifact(self) -> bool:
+        return self.artifact is not None
+
+    def load_artifact(self) -> Any:
+        """Materialise the cell's artifact (decoding a cached ref if needed).
+
+        Raises :class:`LookupError` when the cell carries none — e.g. the run
+        was executed without a cache directory and with ``keep_artifacts``
+        off, or the solver produces no artifact at all.
+        """
+        if self.artifact is None:
+            raise LookupError(
+                f"cell {self.solver!r} {self.params} carries no artifact; run the "
+                "scenario with keep_artifacts=True or through a cache directory"
+            )
+        if isinstance(self.artifact, ArtifactRef):
+            return self.artifact.load()
+        return self.artifact
+
     def without_artifact(self) -> "CellResult":
         return self if self.artifact is None else replace(self, artifact=None)
+
+    def with_artifact(self, artifact: Any) -> "CellResult":
+        return replace(self, artifact=artifact)
 
     def to_dict(self) -> dict:
         return {
@@ -77,7 +108,14 @@ class CellResult:
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """All cell results of one scenario run, plus provenance."""
+    """All cell results of one scenario run, plus provenance and accounting.
+
+    ``meta`` records how the run was assembled: ``cells_total``,
+    ``cells_computed`` (executed this run), ``cells_from_cache`` (served from
+    a complete or partial cache entry), ``artifacts_written`` and
+    ``artifact_bytes_written``.  It is excluded from equality — like timing,
+    it describes how the result was obtained, not what was computed.
+    """
 
     name: str
     spec: dict
@@ -85,6 +123,7 @@ class ExperimentResult:
     rows: tuple[CellResult, ...]
     elapsed_seconds: float = 0.0
     from_cache: bool = False
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
 
     # ------------------------------------------------------------------
     # Queries
@@ -114,6 +153,10 @@ class ExperimentResult:
         """Scalar metric of the unique matching row."""
         return self.one(solver=solver, **params).metric(metric)
 
+    def artifact(self, solver: str | None = None, **params) -> Any:
+        """Materialised artifact of the unique matching row."""
+        return self.one(solver=solver, **params).load_artifact()
+
     def solvers(self) -> list[str]:
         """Distinct solver labels, in first-appearance order."""
         seen: dict[str, None] = {}
@@ -130,6 +173,45 @@ class ExperimentResult:
         return list(seen)
 
     # ------------------------------------------------------------------
+    # Artifact-backed accessors (the paper-shaped views the benchmark
+    # harness and the examples consume)
+    # ------------------------------------------------------------------
+    def testbed_runs_by_mix(self, solver: str = "testbed") -> dict:
+        """``{mix: TestbedResult}`` for single-population testbed scenarios.
+
+        Artifacts are materialised on access, so the mapping works equally on
+        fresh in-process runs and on cache-served results (where each testbed
+        bundle is decoded from its ``.npz`` side-file).
+        """
+        return {
+            mix: self.one(solver=solver, mix=mix).load_artifact()
+            for mix in self.axis_values("mix")
+        }
+
+    def sweep_points_by_mix(self, solver: str = "testbed") -> dict:
+        """``{mix: [SweepPoint, ...]}`` (population-ordered) from a testbed run."""
+        from repro.tpcw.experiment import SweepPoint
+
+        sweeps: dict[str, list] = {}
+        for mix in self.axis_values("mix"):
+            rows = sorted(
+                self.select(solver=solver, mix=mix),
+                key=lambda row: row.params["population"],
+            )
+            sweeps[mix] = [
+                SweepPoint(
+                    num_ebs=int(row.params["population"]),
+                    throughput=row.metric("throughput"),
+                    front_utilization=row.metric("front_utilization"),
+                    db_utilization=row.metric("db_utilization"),
+                    mean_response_time=row.metric("mean_response_time"),
+                    result=row.load_artifact(),
+                )
+                for row in rows
+            ]
+        return sweeps
+
+    # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -138,6 +220,7 @@ class ExperimentResult:
             "spec": self.spec,
             "spec_hash": self.spec_hash,
             "elapsed_seconds": self.elapsed_seconds,
+            "meta": dict(self.meta),
             "rows": [row.to_dict() for row in self.rows],
         }
 
@@ -153,6 +236,7 @@ class ExperimentResult:
             rows=tuple(CellResult.from_dict(row) for row in payload["rows"]),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             from_cache=from_cache,
+            meta=dict(payload.get("meta", {})),
         )
 
     @classmethod

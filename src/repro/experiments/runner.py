@@ -1,18 +1,27 @@
-"""Parallel experiment runner with deterministic seeding and result caching.
+"""Streaming parallel experiment runner with incremental, resumable caching.
 
 The runner expands a :class:`~repro.experiments.spec.ScenarioSpec` into its
 grid of cells and executes them, fanning out over a ``multiprocessing`` pool
 when the grid is large enough to benefit.  Results are bit-identical whether
 cells run serially or in parallel because every cell's seed is already fixed
-by the spec (see :meth:`ScenarioSpec.cells`), and ``Pool.map`` preserves cell
-order.
+by the spec (see :meth:`ScenarioSpec.cells`) — completion order does not
+matter, so the pool streams cells back as they finish
+(``imap_unordered``) and the final rows are re-assembled in grid order.
 
-With a cache directory configured, a finished run is written to disk keyed
-by the spec's content hash and an identical later run is served from the
-cache without executing anything (``result.from_cache`` tells which path was
-taken).  Cached documents carry scalar metrics only; runs that need rich
-artifacts (``keep_artifacts=True``, e.g. the benchmark harness, which wants
-the full monitoring series) always execute.
+With a cache directory configured, every completed cell is written to the
+run directory *as it arrives* (artifact side-files included, see
+:mod:`repro.experiments.cache`), so a killed run leaves a valid partial
+entry; the next run of the same spec resumes from it, re-executing only the
+missing cells, and produces results bit-identical to an uninterrupted run.
+A complete entry is served without executing anything
+(``result.from_cache``).  ``result.meta`` accounts for how the run was
+assembled: cells computed vs served from cache, artifact files and bytes
+written.
+
+``keep_artifacts`` only controls whether *freshly computed* rows keep their
+decoded artifact objects in memory; with a cache configured, artifacts are
+always persisted and cache-served rows carry lazy refs, so
+``ExperimentResult.testbed_runs_by_mix`` and friends work either way.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from typing import Iterator
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.results import CellResult, ExperimentResult
@@ -31,13 +41,13 @@ __all__ = ["ExperimentRunner", "run_scenario"]
 _MAX_DEFAULT_JOBS = 8
 
 
-def _execute_payload(payload) -> CellResult:
+def _execute_payload(payload) -> tuple[str, CellResult]:
     """Worker entry point; reconstructs the spec/cell from plain dicts."""
     spec_dict, cell_dict, keep_artifacts = payload
     spec = ScenarioSpec.from_dict(spec_dict)
     cell = Cell.from_dict(cell_dict)
     result = execute_cell(spec, cell)
-    return result if keep_artifacts else result.without_artifact()
+    return cell.key, (result if keep_artifacts else result.without_artifact())
 
 
 class ExperimentRunner:
@@ -46,15 +56,17 @@ class ExperimentRunner:
     Parameters
     ----------
     cache_dir:
-        Directory of the on-disk JSON cache; ``None`` disables caching.
+        Directory of the on-disk run-directory cache; ``None`` disables
+        caching (and with it resume-from-partial).
     jobs:
         Worker processes for the fan-out.  ``None`` picks
         ``min(cpu_count, 8, number of cells)``; ``1`` forces serial
         execution in-process.
     keep_artifacts:
-        Keep rich per-cell artifacts (e.g. full testbed results) on the
-        returned rows.  Artifact-bearing runs are never served from or
-        written to the cache, because artifacts do not survive JSON.
+        Keep decoded per-cell artifacts (e.g. full testbed results) on
+        freshly computed rows.  Independent of caching: artifact side-files
+        are written whenever a cache is configured, and cache-served rows
+        always carry lazy artifact refs.
     """
 
     def __init__(
@@ -70,43 +82,72 @@ class ExperimentRunner:
         self.keep_artifacts = keep_artifacts
 
     def run(self, spec: ScenarioSpec, force: bool = False) -> ExperimentResult:
-        """Run (or load) the scenario; ``force=True`` bypasses the cache."""
-        use_cache = self.cache is not None and not self.keep_artifacts
+        """Run (or load, or resume) the scenario; ``force=True`` recomputes."""
+        use_cache = self.cache is not None
         if use_cache and not force:
             cached = self.cache.load(spec)
             if cached is not None:
                 return cached
 
         cells = spec.cells()
+        resumed: dict[str, CellResult] = {}
+        if use_cache and not force:
+            resumed = self.cache.load_partial(spec)
+            resumed = {key: row for key, row in resumed.items() if key in
+                       {cell.key for cell in cells}}
+        pending = [cell for cell in cells if cell.key not in resumed]
+
         started = time.perf_counter()
-        rows = self._execute(spec, cells)
+        writer = self.cache.writer(spec, resumed=resumed) if use_cache else None
+        rows_by_key = dict(resumed)
+        for key, row in self._stream(spec, pending):
+            if writer is not None:
+                row = writer.add(key, row, keep_in_memory=self.keep_artifacts)
+            rows_by_key[key] = row
+        elapsed = time.perf_counter() - started
+
         result = ExperimentResult(
             name=spec.name,
             spec=spec.to_dict(),
             spec_hash=spec.hash(),
-            rows=tuple(rows),
-            elapsed_seconds=time.perf_counter() - started,
+            rows=tuple(rows_by_key[cell.key] for cell in cells),
+            elapsed_seconds=elapsed,
+            meta={
+                "cells_total": len(cells),
+                "cells_computed": len(pending),
+                "cells_from_cache": len(resumed),
+                "artifacts_written": writer.artifacts_written if writer else 0,
+                "artifact_bytes_written": writer.bytes_written if writer else 0,
+            },
         )
-        if use_cache:
-            self.cache.store(result, spec)
+        if writer is not None:
+            writer.finalize(elapsed)
         return result
 
     # ------------------------------------------------------------------
-    def _execute(self, spec: ScenarioSpec, cells: list[Cell]) -> list[CellResult]:
+    def _stream(
+        self, spec: ScenarioSpec, cells: list[Cell]
+    ) -> Iterator[tuple[str, CellResult]]:
+        """Yield ``(cell key, result)`` as cells complete (any order)."""
+        if not cells:
+            return
+        # Persisting artifacts requires them to survive the worker boundary;
+        # without a cache, stripping them early keeps serial runs lean.
+        keep = self.keep_artifacts or self.cache is not None
         jobs = self._effective_jobs(len(cells))
         if jobs <= 1:
-            results = [execute_cell(spec, cell) for cell in cells]
-            if not self.keep_artifacts:
-                results = [result.without_artifact() for result in results]
-            return results
+            for cell in cells:
+                result = execute_cell(spec, cell)
+                yield cell.key, (result if keep else result.without_artifact())
+            return
         # Build the expensive shared inputs once here; forked workers inherit
         # the warmed caches instead of recomputing them per process.
         warm_shared_inputs(spec, cells)
         spec_dict = spec.to_dict()
-        payloads = [(spec_dict, cell.to_dict(), self.keep_artifacts) for cell in cells]
+        payloads = [(spec_dict, cell.to_dict(), keep) for cell in cells]
         context = _pool_context()
         with context.Pool(processes=jobs) as pool:
-            return pool.map(_execute_payload, payloads)
+            yield from pool.imap_unordered(_execute_payload, payloads)
 
     def _effective_jobs(self, num_cells: int) -> int:
         if self.jobs is not None:

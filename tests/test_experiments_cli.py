@@ -39,7 +39,8 @@ class TestRun:
 
         assert main(args) == 0
         second = capsys.readouterr().out
-        assert "(cache)" in second
+        assert "(cache" in second
+        assert "0 computed" in second
 
     def test_run_json_output(self, tmp_path, capsys):
         assert main(["run", "smoke", "--cache-dir", str(tmp_path), "--jobs", "1", "--json"]) == 0

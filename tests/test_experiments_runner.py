@@ -15,7 +15,6 @@ from repro.experiments import (
     SolverSpec,
     SyntheticWorkload,
     run_scenario,
-    sweep_points_by_mix,
     tpcw_sweep_scenario,
 )
 
@@ -71,15 +70,16 @@ class TestCache:
         assert second.from_cache
         assert rows_signature(second) == rows_signature(first)
 
-    def test_cache_file_is_keyed_by_spec_hash(self, tmp_path):
+    def test_cache_entry_is_keyed_by_spec_hash(self, tmp_path):
         runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
         spec = analytic_spec()
         runner.run(spec)
         path = runner.cache.path(spec)
-        assert path.exists()
+        assert path.is_dir()
         assert spec.hash() in path.name
-        payload = json.loads(path.read_text())
-        assert payload["spec_hash"] == spec.hash()
+        manifest = json.loads(runner.cache.manifest_path(spec).read_text())
+        assert manifest["spec_hash"] == spec.hash()
+        assert manifest["status"] == "complete"
 
     def test_spec_change_misses_cache(self, tmp_path):
         runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
@@ -98,16 +98,25 @@ class TestCache:
         runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
         spec = analytic_spec()
         runner.run(spec)
-        runner.cache.path(spec).write_text("{not json")
+        runner.cache.manifest_path(spec).write_text("{not json")
         rerun = runner.run(spec)
         assert not rerun.from_cache
 
-    def test_artifact_runs_do_not_touch_cache(self, tmp_path):
-        spec = analytic_spec()
+    def test_artifact_runs_are_cached_and_replayed(self, tmp_path):
+        spec = tpcw_sweep_scenario(
+            "artifact_cache", mixes=("browsing",), populations=(5,),
+            duration=30.0, warmup=5.0, seed=7,
+        )
         runner = ExperimentRunner(cache_dir=tmp_path, keep_artifacts=True, jobs=1)
-        result = runner.run(spec)
-        assert not result.from_cache
-        assert not runner.cache.path(spec).exists()
+        cold = runner.run(spec)
+        assert not cold.from_cache
+        assert cold.meta["artifacts_written"] == 1
+        warm = runner.run(spec)
+        assert warm.from_cache
+        cold_run = cold.rows[0].load_artifact()
+        warm_run = warm.rows[0].load_artifact()
+        assert warm_run.throughput == cold_run.throughput
+        assert (warm_run.front.utilization == cold_run.front.utilization).all()
 
     def test_no_cache_dir_always_computes(self):
         spec = analytic_spec()
@@ -211,8 +220,8 @@ class TestEngineMatchesDirectExecution:
             warmup=15.0,
             seed=7,
         )
-        engine = sweep_points_by_mix(
-            ExperimentRunner(keep_artifacts=True, jobs=2).run(spec)
+        engine = (
+            ExperimentRunner(keep_artifacts=True, jobs=2).run(spec).sweep_points_by_mix()
         )["browsing"]
         direct = run_eb_sweep(BROWSING_MIX, [20, 40], duration=90.0, warmup=15.0, seed=7)
         assert [p.num_ebs for p in engine] == [p.num_ebs for p in direct]
