@@ -5,8 +5,14 @@ Tracks the performance trajectory of the repository's hottest paths:
 * ``generator_build`` — vectorised Kronecker assembly vs the retained naive
   per-state builder at N=100 with MAP(2) service at both stations,
 * ``exact_solve`` — full ``MapClosedNetworkSolver.solve`` wall time at a
-  ladder of populations (the N=500 entry is the headline number),
-* ``sweep`` — warm-started ``solve_sweep`` over the same ladder,
+  ladder of populations.  Every point runs in a *fresh subprocess* so its
+  peak RSS is an honest per-population measurement; each row records the
+  solver tier that produced it and, next to the measured footprint, the
+  bytes the materialized tier would have allocated for the same system
+  (CSR + balance CSC + ILU fill).  The full grid reaches N=1000 and N=1500
+  (~2M and ~4.5M states), which only the matrix-free tier can touch without
+  gigabytes of fill,
+* ``sweep`` — warm-started ``solve_sweep`` over the materialized ladder,
 * ``simulation`` — event-loop rate of the chunked-RNG simulator.
 
 Run from the repository root::
@@ -14,11 +20,20 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/bench_solver.py            # full grid
     PYTHONPATH=src python benchmarks/bench_solver.py --quick    # CI smoke
 
-The output document is committed as ``BENCH_solver.json`` so the numbers are
-versioned alongside the code that produced them; CI re-runs the quick grid on
-every push and uploads the fresh document as an artifact (tracked, not
-gated).  Refresh the committed file after touching the solver or simulator
-hot paths.
+The output document is committed as ``BENCH_solver.json`` and is an
+**append-only trajectory**: ``latest`` holds the full result of the newest
+run, and ``history`` accumulates one compact entry per run, keyed by git SHA
+and UTC date, so the perf trend across PRs stays visible in one file.
+
+``--quick`` doubles as the CI regression gate: the fresh numbers are
+compared against the newest history entry *from a comparable environment*
+(same python major.minor and machine — wall-clock gates across machine
+classes only produce noise) on the overlapping metrics (``exact_solve``
+populations present in both, the ``generator_build`` Kronecker time), and
+the script exits non-zero when any of them regressed by more than
+``--gate-threshold`` (default 25%).  A gate-failing run is *not* appended to
+the trajectory — a rerun would otherwise compare the regression against
+itself and wave it through.  ``--no-gate`` records without gating.
 """
 
 from __future__ import annotations
@@ -26,8 +41,21 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import platform
+import subprocess
+import sys
 import time
+
+#: Populations of the ``exact_solve`` ladder.  The quick grid stays small
+#: enough for CI; the full grid crosses the materialized/matrix-free tier
+#: boundary (~600k states, between N=500 and N=1000).
+QUICK_SOLVE_POPULATIONS = [50, 100]
+FULL_SOLVE_POPULATIONS = [100, 200, 500, 1000, 1500]
+
+#: Relative slowdown versus the previous trajectory entry that fails the
+#: ``--quick`` gate.
+GATE_THRESHOLD = 0.25
 
 
 def _median_time(callable_, repeats: int) -> float:
@@ -59,27 +87,53 @@ def bench_generator_build(population: int, repeats: int) -> dict:
     }
 
 
-def bench_exact_solve(populations: list[int]) -> list[dict]:
-    """Full solve wall time per population (fresh solver each time)."""
-    from repro.maps.map2 import map2_from_moments_and_decay
-    from repro.queueing.map_network import MapClosedNetworkSolver
+#: Executed with ``python -c`` in a fresh interpreter per exact-solve point:
+#: the reported ``ru_maxrss`` is then the high-water mark of that single
+#: solve, not of every ladder rung before it.
+_SOLVE_SNIPPET = """\
+import json, resource, sys, time
+from repro.maps.map2 import map2_from_moments_and_decay
+from repro.queueing.map_network import MapClosedNetworkSolver
 
-    front = map2_from_moments_and_decay(0.02, 4.0, 0.5)
-    db = map2_from_moments_and_decay(0.015, 4.0, 0.95)
+population = int(sys.argv[1])
+front = map2_from_moments_and_decay(0.02, 4.0, 0.5)
+db = map2_from_moments_and_decay(0.015, 4.0, 0.95)
+solver = MapClosedNetworkSolver(front, db, 0.5)
+started = time.perf_counter()
+result = solver.solve(population)
+elapsed = time.perf_counter() - started
+# Read the high-water mark *before* building the accounting operator, so the
+# recorded footprint is the solve's alone.
+peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+operator = solver._assembler.operator(solver.state_space(population))
+print(json.dumps({
+    "population": population,
+    "num_states": result.num_states,
+    "seconds": elapsed,
+    "throughput": result.throughput,
+    "solver_tier": result.solver_tier,
+    "peak_rss_mb": peak_rss_mb,
+    "materialized_estimate_mb": operator.materialized_bytes_estimate() / 1e6,
+}))
+"""
+
+
+def bench_exact_solve(populations: list[int]) -> list[dict]:
+    """Full solve wall time per population, one fresh subprocess each."""
     rows = []
     for population in populations:
-        solver = MapClosedNetworkSolver(front, db, 0.5)
-        started = time.perf_counter()
-        result = solver.solve(population)
-        elapsed = time.perf_counter() - started
-        rows.append(
-            {
-                "population": population,
-                "num_states": result.num_states,
-                "seconds": elapsed,
-                "throughput": result.throughput,
-            }
+        completed = subprocess.run(
+            [sys.executable, "-c", _SOLVE_SNIPPET, str(population)],
+            capture_output=True,
+            text=True,
+            env=os.environ.copy(),
         )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"exact-solve subprocess for N={population} failed "
+                f"(exit {completed.returncode}):\n{completed.stderr}"
+            )
+        rows.append(json.loads(completed.stdout.splitlines()[-1]))
     return rows
 
 
@@ -128,7 +182,7 @@ def run_benchmarks(quick: bool) -> dict:
     import numpy
     import scipy
 
-    solve_populations = [50, 100] if quick else [100, 200, 500]
+    solve_populations = QUICK_SOLVE_POPULATIONS if quick else FULL_SOLVE_POPULATIONS
     sweep_populations = [25, 50, 75, 100] if quick else [100, 200, 300, 400, 500]
     sim_horizon = 2000.0 if quick else 20000.0
     build_repeats = 3 if quick else 5
@@ -153,19 +207,170 @@ def run_benchmarks(quick: bool) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Trajectory (append-only history) and the regression gate
+# ----------------------------------------------------------------------
+def git_sha() -> str:
+    """Short SHA of HEAD, or ``"unknown"`` outside a work tree."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        )
+        return completed.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def entry_environment(document_environment: dict) -> dict:
+    """The slice of the environment that makes timings comparable."""
+    python = str(document_environment.get("python", ""))
+    return {
+        "python": ".".join(python.split(".")[:2]),
+        "machine": document_environment.get("machine", ""),
+    }
+
+
+def history_entry(document: dict, sha: str) -> dict:
+    """Compact trajectory entry for one benchmark run."""
+    results = document["results"]
+    build = results["generator_build"]
+    return {
+        "sha": sha,
+        "date_utc": document["generated_utc"],
+        "quick": document["quick"],
+        "environment": entry_environment(document.get("environment", {})),
+        "generator_build": {
+            "naive_seconds": build["naive_seconds"],
+            "kron_seconds": build["kron_seconds"],
+            "speedup": build["speedup"],
+        },
+        "exact_solve": {
+            str(row["population"]): row["seconds"] for row in results["exact_solve"]
+        },
+        "sweep_seconds": results["sweep"]["seconds"],
+        "simulation_rate": results["simulation"]["completions_per_second"],
+    }
+
+
+def load_trajectory(path: str) -> list[dict]:
+    """History entries of an existing document (either format), oldest first.
+
+    The pre-trajectory format (one flat result document) is absorbed as a
+    single synthetic entry so the committed numbers keep anchoring the trend.
+    """
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(document, dict):
+        return []
+    if "history" in document:
+        history = document["history"]
+        return list(history) if isinstance(history, list) else []
+    if "results" in document:  # pre-trajectory single-run format
+        return [history_entry(document, sha="pre-trajectory")]
+    return []
+
+
+def gate_baseline(entry: dict, history: list[dict]) -> dict | None:
+    """The newest history entry whose environment makes timings comparable.
+
+    Wall-clock gates are only meaningful within one machine class: a
+    trajectory committed from a developer box must not fail (or pass) the
+    gate on a CI runner with a different interpreter or architecture, so
+    only entries matching ``entry``'s python major.minor + machine qualify.
+    Entries written before environments were recorded never qualify.
+    """
+    wanted = entry.get("environment")
+    for candidate in reversed(history):
+        if candidate.get("environment") == wanted:
+            return candidate
+    return None
+
+
+def check_regressions(
+    entry: dict, baseline: dict, threshold: float = GATE_THRESHOLD
+) -> list[str]:
+    """Regression messages for ``entry`` vs ``baseline`` (empty = gate passes).
+
+    Gated metrics: ``generator_build`` Kronecker assembly time and every
+    ``exact_solve`` population present in *both* entries (quick and full
+    grids overlap at N=100, so CI quick runs gate against committed full
+    runs too).
+    """
+    messages = []
+
+    def compare(label: str, current: float, previous: float) -> None:
+        if previous > 0 and current > previous * (1.0 + threshold):
+            messages.append(
+                f"{label}: {current:.4f}s vs {previous:.4f}s "
+                f"(+{(current / previous - 1.0) * 100.0:.0f}%, gate {threshold * 100:.0f}%)"
+            )
+
+    compare(
+        "generator_build.kron_seconds",
+        entry["generator_build"]["kron_seconds"],
+        baseline.get("generator_build", {}).get("kron_seconds", 0.0),
+    )
+    baseline_solves = baseline.get("exact_solve", {})
+    for population, seconds in entry["exact_solve"].items():
+        if population in baseline_solves:
+            compare(
+                f"exact_solve[N={population}]", seconds, baseline_solves[population]
+            )
+    return messages
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output", default="BENCH_solver.json", help="output document path"
     )
     parser.add_argument(
-        "--quick", action="store_true", help="small grid for the CI perf-smoke step"
+        "--quick", action="store_true",
+        help="small grid for the CI bench-smoke step (enables the regression gate)",
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true",
+        help="record the trajectory entry without gating (e.g. on a known-slow box)",
+    )
+    parser.add_argument(
+        "--gate-threshold", type=float, default=GATE_THRESHOLD,
+        help="relative slowdown that fails the quick gate (default 0.25)",
     )
     args = parser.parse_args(argv)
 
+    history = load_trajectory(args.output)
     document = run_benchmarks(quick=args.quick)
+    entry = history_entry(document, sha=git_sha())
+
+    regressions: list[str] = []
+    baseline = None
+    if args.quick and not args.no_gate and history:
+        baseline = gate_baseline(entry, history)
+        if baseline is None:
+            print(
+                "note: no trajectory entry from a comparable environment "
+                f"({entry['environment']}); regression gate skipped"
+            )
+        else:
+            regressions = check_regressions(entry, baseline, args.gate_threshold)
+
+    # A gate-failing run is reported but NOT appended: otherwise one rerun
+    # would compare the regression against itself and wave it through.
     with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
+        json.dump(
+            {
+                "benchmark": document["benchmark"],
+                "latest": document,
+                "history": history if regressions else history + [entry],
+            },
+            handle, indent=2, sort_keys=True,
+        )
         handle.write("\n")
 
     build = document["results"]["generator_build"]
@@ -177,13 +382,25 @@ def main(argv=None) -> int:
     for row in document["results"]["exact_solve"]:
         print(
             f"exact solve N={row['population']}: {row['seconds']:.2f}s "
-            f"({row['num_states']} states)"
+            f"({row['num_states']} states, {row['solver_tier']}, "
+            f"peak {row['peak_rss_mb']:.0f} MB vs ~{row['materialized_estimate_mb']:.0f} MB materialized)"
         )
     sweep = document["results"]["sweep"]
     print(f"sweep {sweep['populations']}: {sweep['seconds']:.2f}s")
     sim = document["results"]["simulation"]
     print(f"simulation: {sim['completions_per_second']:,.0f} completions/s")
-    print(f"wrote {args.output}")
+    entries = len(history) if regressions else len(history) + 1
+    print(f"wrote {args.output} ({entries} trajectory entries)")
+
+    if regressions:
+        print(
+            f"\nPERF REGRESSION GATE FAILED against trajectory entry "
+            f"{baseline['sha']} ({baseline['date_utc']}); "
+            "the regressed run was NOT appended:"
+        )
+        for message in regressions:
+            print(f"  {message}")
+        return 2
     return 0
 
 

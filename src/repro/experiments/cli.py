@@ -8,29 +8,36 @@
                                          [--cache-dir DIR] [--json]
     python -m repro.experiments sweep fig9 --populations 50,100,200
                                          [--think-times 0.5,1.0]
-                                         [--solvers ctmc,mva] [...]
+                                         [--solvers ctmc,mva] [--tier TIER] [...]
+    python -m repro.experiments export table1 [--format csv] [--output FILE]
+                                         [--artifacts DIR] [--cache-dir DIR]
     python -m repro.experiments cache ls [--cache-dir DIR]
     python -m repro.experiments cache rm <scenario> [--cache-dir DIR]
     python -m repro.experiments cache gc [--max-age-days D] [--cache-dir DIR]
 
 ``run`` executes (or loads from the cache) a registered scenario and prints
-one table per solver, with the per-cell wall-clock time in the last column;
-the summary line reports how many cells were computed vs served from the
-cache and how many artifact bytes were written.  ``sweep`` derives an ad-hoc
-grid from a registered workload — overriding its population axis, think time
-and solver set — and runs it through the same engine (one derived scenario
-per requested think time).  ``cache`` inspects and maintains the on-disk
-run-directory store: ``ls`` reports entry sizes and ages, ``rm`` drops every
-entry of one scenario, and ``gc`` prunes entries whose spec hash no longer
-matches the registered scenario, corrupt remnants, orphan side-files and
-(with ``--max-age-days``) old entries.  The cache lives in
-``./.experiments-cache`` unless overridden by ``--cache-dir`` or the
-``REPRO_EXPERIMENTS_CACHE`` environment variable.
+one table per solver, with the per-cell wall-clock time and peak worker RSS
+in the last columns; the summary line reports how many cells were computed
+vs served from the cache, how many artifact bytes were written, and the
+largest per-cell memory footprint.  ``sweep`` derives an ad-hoc grid from a
+registered workload — overriding its population axis, think time, solver set
+and (for exact-CTMC cells) the solver tier — and runs it through the same
+engine (one derived scenario per requested think time).  ``export`` pulls a
+*cached* run straight to CSV without re-solving anything: the scalar-metrics
+table on stdout or ``--output``, and with ``--artifacts DIR`` one CSV per
+artifact-bearing cell (e.g. the Table-1 response-time distributions).
+``cache`` inspects and maintains the on-disk run-directory store: ``ls``
+reports entry sizes and ages, ``rm`` drops every entry of one scenario, and
+``gc`` prunes entries whose spec hash no longer matches the registered
+scenario, corrupt remnants, orphan side-files and (with ``--max-age-days``)
+old entries.  The cache lives in ``./.experiments-cache`` unless overridden
+by ``--cache-dir`` or the ``REPRO_EXPERIMENTS_CACHE`` environment variable.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
 import sys
 from dataclasses import replace
 
@@ -49,6 +56,7 @@ from repro.experiments.spec import (
     SyntheticWorkload,
     TestbedWorkload,
 )
+from repro.queueing.ctmc import SOLVER_TIERS
 
 __all__ = ["main", "format_table", "build_sweep_spec"]
 
@@ -171,7 +179,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated solver kinds, e.g. ctmc,mva,bounds "
         "(default: the base scenario's solvers)",
     )
+    sweep.add_argument(
+        "--tier",
+        choices=SOLVER_TIERS,
+        default=None,
+        help="force the exact-CTMC solver tier for ctmc cells "
+        "(default: size-based selection)",
+    )
     _add_runner_arguments(sweep)
+
+    export = commands.add_parser(
+        "export", help="export a cached run to CSV without re-solving"
+    )
+    export.add_argument("scenario", help="registered scenario name")
+    export.add_argument(
+        "--format", choices=("csv",), default="csv", help="output format (csv)"
+    )
+    export.add_argument(
+        "--output", default=None, help="metrics CSV path (default: stdout)"
+    )
+    export.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="also write one CSV per artifact-bearing cell into DIR "
+        "(e.g. response-time distributions)",
+    )
+    export.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
+    )
 
     cache = commands.add_parser("cache", help="inspect and maintain the result cache")
     cache_commands = cache.add_subparsers(dest="cache_command", required=True)
@@ -227,9 +265,12 @@ def _print_result(result: ExperimentResult) -> None:
             axis_names.setdefault(name, None)
     axes = list(axis_names)
     replicated = any(row.replication > 0 for row in result.rows)
+    show_rss = any(row.meta.get("peak_rss_mb") for row in result.rows)
     for solver in result.solvers():
         metrics = _metric_columns(result, solver)
         headers = axes + (["rep"] if replicated else []) + metrics + ["seconds"]
+        if show_rss:
+            headers.append("peak MB")
         rows = []
         for row in result.select(solver=solver):
             line = [row.params.get(axis, "-") for axis in axes]
@@ -239,6 +280,9 @@ def _print_result(result: ExperimentResult) -> None:
                 f"{row.metrics[m]:.4g}" if m in row.metrics else "-" for m in metrics
             ]
             line.append(f"{row.elapsed_seconds:.3f}")
+            if show_rss:
+                rss = row.meta.get("peak_rss_mb")
+                line.append(f"{rss:.0f}" if rss is not None else "-")
             rows.append(line)
         print(f"--- solver: {solver} ---")
         print(format_table(headers, rows))
@@ -263,6 +307,11 @@ def _print_run_outcome(spec: ScenarioSpec, result: ExperimentResult, runner, cac
             f"{meta.get('cells_from_cache', 0)} cached, "
             f"{_format_bytes(meta.get('artifact_bytes_written', 0))} of artifacts written"
         )
+    peak = max(
+        (row.meta.get("peak_rss_mb", 0.0) for row in result.rows), default=0.0
+    )
+    if peak:
+        accounting += f"; peak worker RSS {peak:.0f} MB"
     print(f"scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells ({source}{accounting})")
     print()
     _print_result(result)
@@ -286,14 +335,17 @@ def build_sweep_spec(
     populations: tuple[int, ...],
     think_time: float | None = None,
     solvers: tuple[str, ...] | None = None,
+    tier: str | None = None,
 ) -> ScenarioSpec:
     """Derive an ad-hoc sweep scenario from a registered one.
 
     The base workload keeps everything except the population axis (replaced
     by ``populations``), optionally the think time, and optionally the solver
-    set (fresh default-option solvers of the requested kinds).  The derived
-    name encodes the overrides so cache entries of different sweeps never
-    collide (the content hash would differ anyway — the name keeps the cache
+    set (fresh default-option solvers of the requested kinds).  ``tier``
+    forces the steady-state solver tier of every ``ctmc`` solver (stored in
+    its options, so it participates in the spec hash).  The derived name
+    encodes the overrides so cache entries of different sweeps never collide
+    (the content hash would differ anyway — the name keeps the cache
     directory legible).
     """
     workload = base.workload
@@ -302,6 +354,8 @@ def build_sweep_spec(
             f"scenario {base.name!r} has a {workload.kind!r} workload, which has no "
             "population axis to sweep"
         )
+    if tier is not None and tier not in SOLVER_TIERS:
+        raise ValueError(f"unknown solver tier {tier!r}; expected one of {SOLVER_TIERS}")
     populations = tuple(dict.fromkeys(int(n) for n in populations))
     if any(population < 1 for population in populations):
         raise ValueError(f"populations must be >= 1, got {populations}")
@@ -315,6 +369,14 @@ def build_sweep_spec(
         solver_specs = tuple(SolverSpec(kind=kind) for kind in dict.fromkeys(solvers))
     else:
         solver_specs = base.solvers
+    if tier is not None:
+        solver_specs = tuple(
+            replace(solver, options={**solver.options, "tier": tier})
+            if solver.kind == "ctmc"
+            else solver
+            for solver in solver_specs
+        )
+        name += f"-{tier}"
     return ScenarioSpec(
         name=name,
         description=f"ad-hoc sweep derived from {base.name!r}",
@@ -328,7 +390,7 @@ def _cmd_sweep(args, base: ScenarioSpec) -> int:
     think_times: tuple[float, ...] | None = args.think_times
     try:
         specs = [
-            build_sweep_spec(base, args.populations, think_time, args.solvers)
+            build_sweep_spec(base, args.populations, think_time, args.solvers, args.tier)
             for think_time in (think_times if think_times is not None else [None])
         ]
     except ValueError as error:
@@ -345,6 +407,106 @@ def _cmd_sweep(args, base: ScenarioSpec) -> int:
         return 0
     for spec, result in zip(specs, results):
         _print_run_outcome(spec, result, runner, cache_dir)
+    return 0
+
+
+def _metric_union(result: ExperimentResult) -> list[str]:
+    produced: dict[str, None] = {}
+    for row in result.rows:
+        for metric in row.metrics:
+            produced.setdefault(metric, None)
+    ordered = [metric for metric in _PREFERRED_METRICS if metric in produced]
+    ordered += [metric for metric in produced if metric not in ordered]
+    return ordered
+
+
+def _export_metrics_csv(result: ExperimentResult, stream) -> int:
+    """Write the scalar-metrics table of a cached run as CSV; returns rows."""
+    axis_names: dict[str, None] = {}
+    for row in result.rows:
+        for name in row.params:
+            axis_names.setdefault(name, None)
+    axes = list(axis_names)
+    metrics = _metric_union(result)
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["solver", "kind"] + axes + ["replication", "seed"] + metrics
+        + ["elapsed_seconds", "peak_rss_mb"]
+    )
+    for row in result.rows:
+        writer.writerow(
+            [row.solver, row.kind]
+            + [row.params.get(axis, "") for axis in axes]
+            + [row.replication, row.seed]
+            + [row.metrics.get(metric, "") for metric in metrics]
+            + [row.elapsed_seconds, row.meta.get("peak_rss_mb", "")]
+        )
+    return len(result.rows)
+
+
+def _artifact_series(artifact) -> dict[str, "list"]:
+    """Flatten an artifact into named 1-D numeric series (columns)."""
+    import numpy as np
+
+    if isinstance(artifact, dict):
+        series = {}
+        for name, value in artifact.items():
+            array = np.asarray(value)
+            if array.ndim == 1 and array.dtype.kind in "fiu":
+                series[name] = array.tolist()
+        return series
+    return {}
+
+
+def _cell_slug(row) -> str:
+    rendered = ",".join(f"{k}={row.params[k]}" for k in sorted(row.params))
+    import re as _re
+
+    return _re.sub(r"[^A-Za-z0-9._=,-]+", "_", f"{row.solver}_{rendered}_rep{row.replication}")
+
+
+def _cmd_export(args, spec) -> int:
+    from pathlib import Path
+
+    from itertools import zip_longest
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    result = cache.load(spec)
+    if result is None:
+        print(
+            f"error: no complete cached run for scenario {spec.name!r} "
+            f"[{spec.hash()}] in {cache.directory}; run "
+            f"`python -m repro.experiments run {spec.name}` first "
+            "(export never re-solves)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.output is None:
+        rows = _export_metrics_csv(result, sys.stdout)
+    else:
+        with open(args.output, "w", newline="", encoding="utf-8") as stream:
+            rows = _export_metrics_csv(result, stream)
+        print(f"wrote {rows} rows to {args.output}", file=sys.stderr)
+    if args.artifacts is not None:
+        directory = Path(args.artifacts)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = skipped = 0
+        for row in result.rows:
+            if not row.has_artifact:
+                continue
+            series = _artifact_series(row.load_artifact())
+            if not series:
+                skipped += 1
+                continue
+            path = directory / f"{_cell_slug(row)}.csv"
+            with open(path, "w", newline="", encoding="utf-8") as stream:
+                writer = csv.writer(stream)
+                writer.writerow(series)
+                for values in zip_longest(*series.values(), fillvalue=""):
+                    writer.writerow(values)
+            written += 1
+        note = f" ({skipped} non-tabular artifacts skipped)" if skipped else ""
+        print(f"wrote {written} artifact CSVs to {directory}{note}", file=sys.stderr)
     return 0
 
 
@@ -423,4 +585,6 @@ def main(argv=None) -> int:
         return _cmd_show(spec)
     if args.command == "sweep":
         return _cmd_sweep(args, spec)
+    if args.command == "export":
+        return _cmd_export(args, spec)
     return _cmd_run(args, spec)

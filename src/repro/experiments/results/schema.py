@@ -35,8 +35,13 @@ class CellResult:
     ``elapsed_seconds`` is the wall-clock cost of executing the cell; it is
     serialised with the result (so cached documents keep their original
     timings) but excluded from equality, which compares what was computed,
-    not how long it took.  ``artifact`` holds the solver's rich payload — the
-    decoded object, an :class:`ArtifactRef` into the cache, or ``None``.
+    not how long it took.  ``meta`` carries further execution accounting of
+    the same nature — e.g. ``peak_rss_mb`` (the worker process's peak
+    resident set after the cell ran, documenting the materialized-vs-
+    matrix-free memory crossover) and ``solver_tier`` for exact-CTMC cells —
+    and is equally excluded from equality.  ``artifact`` holds the solver's
+    rich payload — the decoded object, an :class:`ArtifactRef` into the
+    cache, or ``None``.
     """
 
     solver: str
@@ -47,6 +52,7 @@ class CellResult:
     metrics: dict[str, float]
     elapsed_seconds: float = field(default=0.0, compare=False)
     artifact: Any = field(default=None, compare=False)
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def metric(self, name: str) -> float:
         if name not in self.metrics:
@@ -91,6 +97,7 @@ class CellResult:
             "seed": self.seed,
             "metrics": dict(self.metrics),
             "elapsed_seconds": self.elapsed_seconds,
+            "meta": dict(self.meta),
         }
 
     @classmethod
@@ -103,6 +110,7 @@ class CellResult:
             seed=int(payload["seed"]),
             metrics={k: float(v) for k, v in payload["metrics"].items()},
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            meta=dict(payload.get("meta", {})),
         )
 
 

@@ -27,6 +27,7 @@ them once however many cells it executes.
 
 from __future__ import annotations
 
+import resource
 import time
 from functools import lru_cache
 
@@ -47,19 +48,33 @@ DEFAULT_SIM_HORIZON = 2000.0
 DEFAULT_SIM_WARMUP = 200.0
 
 
+def _peak_rss_mb() -> float:
+    """Peak resident set of this process, in MiB (Linux reports KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
 def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
-    """Run one cell of the scenario grid and return its result (timed)."""
+    """Run one cell of the scenario grid and return its result (timed).
+
+    Besides the wall-clock time, ``result.meta`` records ``peak_rss_mb`` —
+    the executing process's peak resident set *after* the cell ran (a
+    high-water mark, so within one worker it is monotone across cells; it
+    documents the memory footprint the cell's solver tier required, which is
+    what the materialized-vs-matrix-free crossover analysis needs).
+    """
     workload = spec.workload
     started = time.perf_counter()
     if isinstance(workload, SyntheticWorkload):
-        metrics, artifact = _execute_synthetic(workload, cell)
+        metrics, artifact, meta = _execute_synthetic(workload, cell)
     elif isinstance(workload, TestbedWorkload):
-        metrics, artifact = _execute_testbed(workload, cell)
+        metrics, artifact, meta = _execute_testbed(workload, cell)
     elif isinstance(workload, TraceWorkload):
-        metrics, artifact = _execute_trace(workload, cell)
+        metrics, artifact, meta = _execute_trace(workload, cell)
     else:  # pragma: no cover - spec validation prevents this
         raise TypeError(f"unsupported workload type {type(workload)!r}")
     elapsed = time.perf_counter() - started
+    meta = dict(meta)
+    meta["peak_rss_mb"] = round(_peak_rss_mb(), 1)
     return CellResult(
         solver=cell.solver_label,
         kind=cell.solver_kind,
@@ -69,6 +84,7 @@ def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
         metrics={key: float(value) for key, value in metrics.items()},
         elapsed_seconds=elapsed,
         artifact=artifact,
+        meta=meta,
     )
 
 
@@ -132,7 +148,12 @@ def _execute_synthetic(workload: SyntheticWorkload, cell: Cell):
     think = workload.think_time
 
     if cell.solver_kind == "ctmc":
-        result = MapClosedNetworkSolver(front, db, think).solve(population)
+        # The ``tier`` option forces a steady-state solver tier (``direct``,
+        # ``ilu_krylov``, ``matrix_free``); default is size-based selection.
+        tier = cell.options.get("tier")
+        result = MapClosedNetworkSolver(front, db, think).solve(
+            population, tier=tier if tier is None else str(tier)
+        )
         return (
             {
                 "throughput": result.throughput,
@@ -144,6 +165,7 @@ def _execute_synthetic(workload: SyntheticWorkload, cell: Cell):
                 "num_states": result.num_states,
             },
             None,
+            {"solver_tier": result.solver_tier},
         )
     if cell.solver_kind == "mva":
         demands = [front.mean(), workload.db_mean]
@@ -160,6 +182,7 @@ def _execute_synthetic(workload: SyntheticWorkload, cell: Cell):
                 "db_queue_length": float(queues[1]),
             },
             None,
+            {},
         )
     if cell.solver_kind == "bounds":
         demands = [front.mean(), workload.db_mean]
@@ -171,6 +194,7 @@ def _execute_synthetic(workload: SyntheticWorkload, cell: Cell):
                 "throughput_upper": min(asymptotic.upper, balanced.upper),
             },
             None,
+            {},
         )
     if cell.solver_kind == "simulation":
         horizon = float(cell.options.get("horizon", DEFAULT_SIM_HORIZON))
@@ -195,6 +219,7 @@ def _execute_synthetic(workload: SyntheticWorkload, cell: Cell):
                 "measured_time": result.measured_time,
             },
             None,
+            {},
         )
     raise ValueError(
         f"solver {cell.solver_kind!r} is not applicable to synthetic workloads"
@@ -230,6 +255,7 @@ def _execute_testbed(workload: TestbedWorkload, cell: Cell):
                 "completed": result.completed_transactions,
             },
             result,
+            {},
         )
 
     if cell.solver_kind in ("fitted_map", "fitted_mva"):
@@ -246,6 +272,7 @@ def _execute_testbed(workload: TestbedWorkload, cell: Cell):
                     "db_index_of_dispersion": model.database.index_of_dispersion,
                 },
                 None,
+                {},
             )
         mva = model.mva_baseline(population)
         utilization = mva.utilization_at(population)
@@ -257,6 +284,7 @@ def _execute_testbed(workload: TestbedWorkload, cell: Cell):
                 "db_utilization": float(utilization[1]),
             },
             None,
+            {},
         )
     raise ValueError(f"solver {cell.solver_kind!r} is not applicable to testbed workloads")
 
@@ -315,6 +343,7 @@ def _execute_trace(workload: TraceWorkload, cell: Cell):
             "trace_p95": trace.percentile(0.95),
         },
         artifact,
+        {},
     )
 
 

@@ -9,8 +9,12 @@
   MAPs.  This is the model the paper's methodology parameterises.
 * :mod:`~repro.queueing.kron` — Kronecker-structured state enumeration and
   vectorised generator assembly behind the exact solver.
+* :mod:`~repro.queueing.kron_operator` — matrix-free application of the
+  generator (and its level-sweep / two-level preconditioners) for state
+  spaces too large to materialize.
 * :mod:`~repro.queueing.ctmc` — sparse continuous-time Markov chain
-  utilities shared by the solvers.
+  utilities shared by the solvers, including the size-aware solver-tier
+  selection (``direct`` / ``ilu_krylov`` / ``matrix_free``).
 * :mod:`~repro.queueing.mg1` — classical single-station references
   (M/M/1, M/G/1, heavy-traffic G/G/1 with an index of dispersion).
 * :mod:`~repro.queueing.bounds` — asymptotic bounds for closed networks.
@@ -19,13 +23,21 @@
 from repro.queueing.mva import MVAResult, mva_closed_network
 from repro.queueing.ctmc import (
     assemble_generator,
+    choose_solver_tier,
     steady_state_distribution,
+    steady_state_matrix_free,
+    SOLVER_TIERS,
     SparseGeneratorBuilder,
 )
 from repro.queueing.kron import (
     KronGeneratorAssembler,
     NetworkStateSpace,
     embed_distribution,
+)
+from repro.queueing.kron_operator import (
+    LevelSweepPreconditioner,
+    MatrixFreeGenerator,
+    TwoLevelPreconditioner,
 )
 from repro.queueing.map_network import (
     MapNetworkResult,
@@ -47,11 +59,17 @@ __all__ = [
     "MVAResult",
     "mva_closed_network",
     "assemble_generator",
+    "choose_solver_tier",
     "steady_state_distribution",
+    "steady_state_matrix_free",
+    "SOLVER_TIERS",
     "SparseGeneratorBuilder",
     "KronGeneratorAssembler",
     "NetworkStateSpace",
     "embed_distribution",
+    "LevelSweepPreconditioner",
+    "MatrixFreeGenerator",
+    "TwoLevelPreconditioner",
     "MapNetworkResult",
     "solve_map_closed_network",
     "MapClosedNetworkSolver",

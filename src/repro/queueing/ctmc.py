@@ -11,30 +11,50 @@ states.  This module provides a small, reusable toolkit:
 * :func:`steady_state_distribution` — robust solution of the global balance
   equations ``pi Q = 0``, ``pi 1 = 1``.
 
-Solution strategy
------------------
+Solver tiers
+------------
 The balance system is built directly in COO/CSC form (no ``lil_matrix`` row
 surgery).  Small systems go through a sparse direct LU solve, which is cheap
 and the most accurate.  Large systems hit SuperLU's fill-in wall — the
 lattice-structured generators produced by the closed network make the direct
 factorisation super-linearly expensive — so they are solved with an
 ILU-preconditioned Krylov iteration first (BiCGSTAB, with a GMRES retry),
-which is an order of magnitude faster from ``~10^4`` states up.  Every
-candidate solution is validated against the residual ``max |pi Q|`` before it
-is accepted; failures are logged and the next strategy is tried, ending with
-uniformised power iteration as the last resort.
+which is an order of magnitude faster from ``~10^4`` states up.  Beyond
+:data:`MATERIALIZED_STATE_LIMIT` states even the materialized CSR + ILU pair
+becomes the bottleneck (gigabytes of fill, minutes of factorisation), and
+:func:`steady_state_matrix_free` takes over: a preconditioned Krylov solve
+whose operator applies the generator directly from its Kronecker block
+structure (:mod:`repro.queueing.kron_operator`) — nothing larger than
+``O(states)`` is ever allocated.  :func:`choose_solver_tier` picks the tier
+from the state count; the ``REPRO_SOLVER_TIER`` environment variable or the
+``tier=`` keyword of the solver entry points forces one for debugging.
+
+Every candidate solution is validated against the residual ``max |pi Q|``
+before it is accepted; failures are logged and the next strategy is tried,
+ending with uniformised power iteration as the last resort.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import warnings
 
 import numpy as np
 import scipy.sparse as sparse
 import scipy.sparse.linalg as sparse_linalg
 
-__all__ = ["SparseGeneratorBuilder", "assemble_generator", "steady_state_distribution"]
+__all__ = [
+    "SparseGeneratorBuilder",
+    "assemble_generator",
+    "steady_state_distribution",
+    "steady_state_matrix_free",
+    "choose_solver_tier",
+    "SOLVER_TIERS",
+    "DIRECT_SOLVE_STATE_LIMIT",
+    "MATERIALIZED_STATE_LIMIT",
+    "TIER_ENV_VAR",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -43,6 +63,42 @@ logger = logging.getLogger(__name__)
 #: (SuperLU fill-in grows super-linearly on lattice-structured generators,
 #: e.g. ~5 s at 2*10^4 states versus ~0.7 s for ILU+BiCGSTAB).
 DIRECT_SOLVE_STATE_LIMIT = 4_000
+
+#: Above this many states the generator is no longer materialized at all:
+#: the CSR + balance CSC + ILU working set passes ~1 GiB around 10^6 states
+#: (measured 1.4 GiB peak RSS at N=1000, ~2*10^6 states) while the
+#: matrix-free tier stays an order of magnitude leaner.
+MATERIALIZED_STATE_LIMIT = 600_000
+
+#: Tier names, in ascending problem-size order.
+SOLVER_TIERS = ("direct", "ilu_krylov", "matrix_free")
+
+#: Environment variable forcing a tier (same values as :data:`SOLVER_TIERS`,
+#: or ``auto``/empty for the size-based default).
+TIER_ENV_VAR = "REPRO_SOLVER_TIER"
+
+
+def choose_solver_tier(num_states: int, override: str | None = None) -> str:
+    """Pick the steady-state solver tier for a system of ``num_states``.
+
+    ``override`` (or the ``REPRO_SOLVER_TIER`` environment variable, in that
+    precedence order) forces a tier regardless of size; ``"auto"`` and empty
+    values mean the size-based default.  Unknown names raise ``ValueError``.
+    """
+    if override is None:
+        override = os.environ.get(TIER_ENV_VAR) or None
+    if override is not None and override != "auto":
+        if override not in SOLVER_TIERS:
+            raise ValueError(
+                f"unknown solver tier {override!r}; expected one of "
+                f"{SOLVER_TIERS + ('auto',)}"
+            )
+        return override
+    if num_states <= DIRECT_SOLVE_STATE_LIMIT:
+        return "direct"
+    if num_states <= MATERIALIZED_STATE_LIMIT:
+        return "ilu_krylov"
+    return "matrix_free"
 
 #: ILU preconditioner knobs for the Krylov path.  ``NATURAL`` ordering beats
 #: COLAMD by ~10x here because the network's state enumeration already orders
@@ -123,11 +179,14 @@ def _balance_system(generator: sparse.spmatrix):
     return A, b
 
 
-def _validated(candidate, generator: sparse.spmatrix, rate_scale: float):
+def _validated(candidate, residual_of, rate_scale: float):
     """Normalise a candidate solution; ``None`` if it is not a distribution.
 
     Accepts the candidate only when it is finite, non-negative up to round-off
     and satisfies the balance equations to ``max |pi Q| <= 1e-8 * rate_scale``.
+    ``residual_of`` maps a normalised candidate to ``max |pi Q|`` — a sparse
+    row-vector product for the materialized tiers, an operator matvec for the
+    matrix-free tier.
     """
     candidate = np.asarray(candidate).reshape(-1)
     if not np.all(np.isfinite(candidate)) or candidate.min() < -1e-8:
@@ -137,8 +196,7 @@ def _validated(candidate, generator: sparse.spmatrix, rate_scale: float):
     if total <= 0:
         return None
     candidate = candidate / total
-    residual = float(np.abs(candidate @ generator).max())
-    if residual > _RESIDUAL_RTOL * max(rate_scale, 1.0):
+    if residual_of(candidate) > _RESIDUAL_RTOL * max(rate_scale, 1.0):
         return None
     return candidate
 
@@ -183,6 +241,7 @@ def steady_state_distribution(
     generator: sparse.spmatrix,
     tol: float = 1e-12,
     initial_guess: np.ndarray | None = None,
+    prefer: str | None = None,
 ) -> np.ndarray:
     """Solve ``pi Q = 0`` with ``pi >= 0`` and ``sum(pi) = 1``.
 
@@ -197,6 +256,9 @@ def steady_state_distribution(
         of a nearby model, as produced by population sweeps.  The direct
         solve ignores it, so providing a guess never changes the result of a
         successfully direct-solved system.
+    prefer:
+        ``"direct"`` or ``"ilu_krylov"`` forces that strategy to run first
+        (the other remains as fallback); ``None`` picks by problem size.
     """
     num_states = generator.shape[0]
     if generator.shape[0] != generator.shape[1]:
@@ -208,9 +270,15 @@ def steady_state_distribution(
     rate_scale = float(np.abs(generator.diagonal()).max())
     A, b = _balance_system(generator)
 
-    strategies = ["direct", "ilu_krylov"]
-    if num_states > DIRECT_SOLVE_STATE_LIMIT:
-        strategies = ["ilu_krylov", "direct"]
+    if prefer is not None and prefer not in ("direct", "ilu_krylov"):
+        raise ValueError(
+            f"unknown materialized strategy {prefer!r}; expected 'direct' or 'ilu_krylov'"
+        )
+    lead = prefer or ("direct" if num_states <= DIRECT_SOLVE_STATE_LIMIT else "ilu_krylov")
+    strategies = [lead] + [s for s in ("direct", "ilu_krylov") if s != lead]
+
+    def residual_of(candidate):
+        return float(np.abs(candidate @ generator).max())
 
     for strategy in strategies:
         try:
@@ -228,7 +296,7 @@ def steady_state_distribution(
                 strategy, type(error).__name__, error,
             )
             continue
-        solution = _validated(candidate, generator, rate_scale)
+        solution = _validated(candidate, residual_of, rate_scale)
         if solution is not None:
             return solution
         logger.warning(
@@ -239,6 +307,107 @@ def steady_state_distribution(
     return _power_iteration(generator, tol=tol, initial_guess=initial_guess)
 
 
+#: Relative tolerance of the matrix-free Krylov iterations.  The acceptance
+#: criterion is the absolute balance residual ``max |pi Q| <= 1e-8 *
+#: rate_scale`` — at matrix-free sizes (rate scales of 10^3+) a 1e-9 Krylov
+#: residual leaves three-plus orders of magnitude of safety margin while
+#: saving the last ~quarter of the iterations a 1e-12 target would cost.
+_MATRIX_FREE_RTOL = 1e-9
+_MATRIX_FREE_MAXITER = 600
+
+
+def _matrix_free_bicgstab(operator, b, initial_guess, preconditioner):
+    solution, info = sparse_linalg.bicgstab(
+        operator.balance_operator(),
+        b,
+        M=preconditioner,
+        x0=initial_guess,
+        rtol=_MATRIX_FREE_RTOL,
+        atol=0.0,
+        maxiter=_MATRIX_FREE_MAXITER,
+    )
+    if info != 0:
+        raise RuntimeError(f"matrix-free BiCGSTAB did not converge (info={info})")
+    return solution
+
+
+def _matrix_free_gmres(operator, b, initial_guess, preconditioner):
+    # Restart length 50 keeps the Krylov basis ~50 state vectors — the only
+    # O(states) allocation of this tier beyond the operator itself.
+    solution, info = sparse_linalg.gmres(
+        operator.balance_operator(),
+        b,
+        M=preconditioner,
+        x0=initial_guess,
+        rtol=_MATRIX_FREE_RTOL,
+        atol=0.0,
+        restart=50,
+        maxiter=40,
+    )
+    if info != 0:
+        raise RuntimeError(f"matrix-free GMRES did not converge (info={info})")
+    return solution
+
+
+def steady_state_matrix_free(
+    operator,
+    tol: float = 1e-12,
+    initial_guess: np.ndarray | None = None,
+) -> np.ndarray:
+    """Steady state through a matrix-free operator — nothing materialized.
+
+    ``operator`` is a :class:`repro.queueing.kron_operator.MatrixFreeGenerator`
+    (or any object with the same ``num_states`` / ``rate_scale`` /
+    ``balance_operator`` / ``preconditioner`` / ``qt_matvec`` / ``residual``
+    surface).  The solve targets the same normalised balance system as the
+    materialized tiers — preconditioned BiCGSTAB first, a GMRES retry, and
+    matrix-free power iteration as the last resort — and validates every
+    candidate against the same ``max |pi Q|`` residual threshold.
+    """
+    num_states = operator.num_states
+    if num_states == 1:
+        return np.array([1.0])
+    b = np.zeros(num_states)
+    b[-1] = 1.0
+
+    try:
+        preconditioner = operator.preconditioner().as_linear_operator()
+    except (RuntimeError, ValueError, MemoryError, np.linalg.LinAlgError) as error:
+        logger.warning(
+            "matrix-free preconditioner setup failed (%s: %s); "
+            "continuing unpreconditioned", type(error).__name__, error,
+        )
+        preconditioner = None
+
+    for name, strategy in (
+        ("bicgstab", _matrix_free_bicgstab),
+        ("gmres", _matrix_free_gmres),
+    ):
+        try:
+            candidate = strategy(operator, b, initial_guess, preconditioner)
+        except (RuntimeError, ValueError, ArithmeticError, MemoryError,
+                np.linalg.LinAlgError) as error:
+            logger.warning(
+                "matrix-free %s solve failed (%s: %s); trying next strategy",
+                name, type(error).__name__, error,
+            )
+            continue
+        solution = _validated(candidate, operator.residual, operator.rate_scale)
+        if solution is not None:
+            return solution
+        logger.warning(
+            "matrix-free %s solve produced an invalid distribution; "
+            "trying next strategy", name,
+        )
+    logger.warning(
+        "matrix-free Krylov strategies failed; falling back to power iteration"
+    )
+    return _power_iteration_callable(
+        operator.qt_matvec, operator.rate_scale, num_states,
+        tol=tol, initial_guess=initial_guess,
+    )
+
+
 def _power_iteration(
     generator: sparse.spmatrix,
     tol: float = 1e-12,
@@ -246,18 +415,37 @@ def _power_iteration(
     initial_guess: np.ndarray | None = None,
 ) -> np.ndarray:
     """Steady state via power iteration on the uniformised DTMC."""
-    num_states = generator.shape[0]
     generator = generator.tocsr()
-    diagonal = -generator.diagonal()
-    uniformisation_rate = float(diagonal.max()) * 1.05 + 1e-12
-    transition = sparse.eye(num_states, format="csr") + generator / uniformisation_rate
+    rate_scale = float((-generator.diagonal()).max())
+    return _power_iteration_callable(
+        lambda pi: pi @ generator, rate_scale, generator.shape[0],
+        tol=tol, max_iterations=max_iterations, initial_guess=initial_guess,
+    )
+
+
+def _power_iteration_callable(
+    pi_q,
+    rate_scale: float,
+    num_states: int,
+    tol: float = 1e-12,
+    max_iterations: int = 200_000,
+    initial_guess: np.ndarray | None = None,
+) -> np.ndarray:
+    """Uniformised power iteration over a ``pi -> pi Q`` callable.
+
+    Shared by the materialized last resort (sparse row-vector product) and
+    the matrix-free tier (operator ``qt_matvec``): one uniformisation step is
+    ``pi + (pi Q) / Lambda`` with ``Lambda`` just above the largest exit
+    rate, so no transition matrix is ever formed.
+    """
+    uniformisation_rate = rate_scale * 1.05 + 1e-12
     if initial_guess is not None and initial_guess.sum() > 0:
         pi = np.clip(np.asarray(initial_guess, dtype=float).reshape(-1), 0.0, None)
         pi = pi / pi.sum()
     else:
         pi = np.full(num_states, 1.0 / num_states)
     for _ in range(max_iterations):
-        new_pi = pi @ transition
+        new_pi = pi + np.asarray(pi_q(pi)).reshape(-1) / uniformisation_rate
         new_pi = np.clip(new_pi, 0.0, None)
         new_pi /= new_pi.sum()
         if np.abs(new_pi - pi).max() < tol:

@@ -133,10 +133,37 @@ class KronGeneratorAssembler:
         self._front_hidden = _positive_triplets(np.kron(_offdiagonal(front_service.D0), eye_db))
         self._db_completion = _positive_triplets(np.kron(eye_front, db_service.D1))
         self._db_hidden = _positive_triplets(np.kron(eye_front, _offdiagonal(db_service.D0)))
+        #: Clipped local family matrices, shared with the matrix-free tier so
+        #: its matvecs apply exactly the rates the materialized path emits.
+        self._d1_front = np.where(front_service.D1 > 0, front_service.D1, 0.0)
+        self._hidden_front = _offdiagonal(front_service.D0)
+        self._d1_db = np.where(db_service.D1 > 0, db_service.D1, 0.0)
+        self._hidden_db = _offdiagonal(db_service.D0)
 
     def state_space(self, population: int) -> NetworkStateSpace:
         """State space of this network at the given population."""
         return NetworkStateSpace(population, self.k_front, self.k_db)
+
+    def operator(self, space: NetworkStateSpace):
+        """Matrix-free view of the generator over ``space``.
+
+        Returns a :class:`repro.queueing.kron_operator.MatrixFreeGenerator`
+        built from this assembler's cached local family matrices — the
+        operator of every population in a sweep shares the same Kronecker
+        block structure and only pays the per-population setup.
+        """
+        from repro.queueing.kron_operator import MatrixFreeGenerator
+
+        if space.k_front != self.k_front or space.k_db != self.k_db:
+            raise ValueError("state space phase orders do not match the assembler's MAPs")
+        return MatrixFreeGenerator(
+            space,
+            self._d1_front,
+            self._hidden_front,
+            self._d1_db,
+            self._hidden_db,
+            self.think_rate,
+        )
 
     def build(self, space: NetworkStateSpace):
         """Assemble the CSR generator over ``space`` with zero per-state work."""

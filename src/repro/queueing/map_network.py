@@ -28,12 +28,18 @@ from the previous population's steady state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.maps.map_process import MAP
-from repro.queueing.ctmc import SparseGeneratorBuilder, steady_state_distribution
+from repro.queueing.ctmc import (
+    SparseGeneratorBuilder,
+    choose_solver_tier,
+    steady_state_distribution,
+    steady_state_matrix_free,
+)
 from repro.queueing.kron import (
     ZERO_THINK_RATE,
     KronGeneratorAssembler,
@@ -42,6 +48,8 @@ from repro.queueing.kron import (
 )
 
 __all__ = ["MapNetworkResult", "MapClosedNetworkSolver", "solve_map_closed_network"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -57,6 +65,10 @@ class MapNetworkResult:
     db_queue_length: float
     mean_customers_thinking: float
     num_states: int
+    #: Which solver tier produced the steady state (``direct``,
+    #: ``ilu_krylov`` or ``matrix_free``); excluded from equality — it
+    #: describes how the result was obtained, not what was computed.
+    solver_tier: str = field(default="", compare=False)
 
     @property
     def response_time(self) -> float:
@@ -216,16 +228,51 @@ class MapClosedNetworkSolver:
             num_states=space.num_states,
         )
 
-    def solve(self, population: int) -> MapNetworkResult:
-        """Solve the network for the given customer population."""
+    def _steady_state(
+        self,
+        space: NetworkStateSpace,
+        tier: str,
+        guess: np.ndarray | None,
+    ) -> tuple[np.ndarray, str]:
+        """Steady state of ``space`` through the requested tier.
+
+        Returns ``(distribution, tier_used)``.  A matrix-free failure falls
+        back to the materialized ILU+Krylov tier (logged), so a forced or
+        size-selected ``matrix_free`` never strands the caller.
+        """
+        if tier == "matrix_free":
+            try:
+                operator = self._assembler.operator(space)
+                return steady_state_matrix_free(operator, initial_guess=guess), tier
+            except (RuntimeError, ValueError, MemoryError,
+                    np.linalg.LinAlgError) as error:
+                logger.warning(
+                    "matrix-free tier failed (%s: %s); falling back to the "
+                    "materialized ilu_krylov tier", type(error).__name__, error,
+                )
+                tier = "ilu_krylov"
+        generator = self._assembler.build(space)
+        distribution = steady_state_distribution(
+            generator, initial_guess=guess, prefer=tier
+        )
+        return distribution, tier
+
+    def solve(self, population: int, tier: str | None = None) -> MapNetworkResult:
+        """Solve the network for the given customer population.
+
+        ``tier`` forces a solver tier (``direct``, ``ilu_krylov`` or
+        ``matrix_free``); by default :func:`repro.queueing.ctmc.choose_solver_tier`
+        picks from the state count (the ``REPRO_SOLVER_TIER`` environment
+        variable overrides).  The result records the tier that produced it.
+        """
         if population < 1:
             raise ValueError("population must be >= 1")
         space = self.state_space(population)
-        generator = self._assembler.build(space)
-        distribution = steady_state_distribution(generator)
-        return self._metrics(space, distribution)
+        chosen = choose_solver_tier(space.num_states, override=tier)
+        distribution, used = self._steady_state(space, chosen, guess=None)
+        return replace(self._metrics(space, distribution), solver_tier=used)
 
-    def solve_sweep(self, populations) -> list[MapNetworkResult]:
+    def solve_sweep(self, populations, tier: str | None = None) -> list[MapNetworkResult]:
         """Solve the network for every population in ``populations``.
 
         Populations are solved in ascending order (each distinct value once)
@@ -234,7 +281,9 @@ class MapClosedNetworkSolver:
         into the larger state space; results are returned in request order.
         The direct sparse solve used for small systems ignores the warm
         start, so sweep results are identical to individual :meth:`solve`
-        calls there and agree to solver tolerance everywhere else.
+        calls there and agree to solver tolerance everywhere else.  The
+        solver tier is chosen per population (warm starts carry across tier
+        boundaries); ``tier`` forces one for the whole sweep.
         """
         requested = [int(n) for n in populations]
         solved: dict[int, MapNetworkResult] = {}
@@ -243,12 +292,14 @@ class MapClosedNetworkSolver:
             if population < 1:
                 raise ValueError("population must be >= 1")
             space = self.state_space(population)
-            generator = self._assembler.build(space)
+            chosen = choose_solver_tier(space.num_states, override=tier)
             guess = None
             if previous is not None:
                 guess = embed_distribution(previous[0], previous[1], space)
-            distribution = steady_state_distribution(generator, initial_guess=guess)
-            solved[population] = self._metrics(space, distribution)
+            distribution, used = self._steady_state(space, chosen, guess=guess)
+            solved[population] = replace(
+                self._metrics(space, distribution), solver_tier=used
+            )
             previous = (space, distribution)
         return [solved[population] for population in requested]
 
