@@ -13,7 +13,15 @@ Tracks the performance trajectory of the repository's hottest paths:
   (~2M and ~4.5M states), which only the matrix-free tier can touch without
   gigabytes of fill,
 * ``sweep`` — warm-started ``solve_sweep`` over the materialized ladder,
-* ``simulation`` — event-loop rate of the chunked-RNG simulator.
+* ``simulation`` — event-loop rate of the chunked-RNG simulator,
+* ``sim_loop`` — scalar event loop vs the vectorized batched-replication
+  kernel on the bursty Figure-9 network (the fig4-scale sweep workload):
+  per-cell seconds and aggregate events/second for replication counts from
+  16 up.  The scalar side runs every replication serially; at R=1024 its
+  ladder rung would cost minutes, so rungs marked ``scalar_extrapolated``
+  price the scalar kernel from its measured per-replication seconds at the
+  same horizon (replications are independent runs — the scalar cost is
+  exactly linear in R).
 
 Run from the repository root::
 
@@ -52,6 +60,21 @@ import time
 #: boundary (~600k states, between N=500 and N=1000).
 QUICK_SOLVE_POPULATIONS = [50, 100]
 FULL_SOLVE_POPULATIONS = [100, 200, 500, 1000, 1500]
+
+#: ``sim_loop`` ladder: {key: (replications, horizon, measure scalar side)}.
+#: Keys appearing in both the quick and full grids must describe identical
+#: work, since the regression gate compares entries across grids (like the
+#: ``exact_solve`` overlap at N=100).  Rungs with ``measure_scalar=False``
+#: extrapolate the scalar cost linearly from the measured per-replication
+#: seconds of the largest measured rung at the same horizon.
+SIM_LOOP_POINTS = {
+    "R16": (16, 2000.0, True),
+    "R64": (64, 250.0, True),
+    "R256": (256, 2000.0, False),
+    "R1024": (1024, 2000.0, False),
+}
+QUICK_SIM_LOOP = ["R64"]
+FULL_SIM_LOOP = ["R16", "R64", "R256", "R1024"]
 
 #: Relative slowdown versus the previous trajectory entry that fails the
 #: ``--quick`` gate.
@@ -178,6 +201,87 @@ def bench_simulation(horizon: float) -> dict:
     }
 
 
+def bench_sim_loop(point_keys: list[str]) -> list[dict]:
+    """Scalar vs batched simulation kernel on the Figure-9 network.
+
+    One row per replication-count rung.  Both kernels simulate the *same
+    work* (R replications, same horizon/warmup, per-replication seeds), so
+    the speedup is a pure kernel comparison; ``events`` counts jump-chain
+    transitions, the common work measure of the two kernels.
+    """
+    import numpy as np
+
+    from repro.maps.map2 import map2_exponential, map2_from_moments_and_decay
+    from repro.simulation.batched import simulate_closed_map_network_batch
+    from repro.simulation.closed_network import simulate_closed_map_network
+
+    front = map2_exponential(0.02)
+    db = map2_from_moments_and_decay(0.015, 4.0, 0.95)
+    think, population = 0.5, 50
+
+    # horizon -> (measured seconds/rep, measured events/rep): extrapolated
+    # rungs scale both linearly, so their reported rate stays consistent
+    # with the measured rung at the same horizon.
+    scalar_per_rep: dict[float, tuple[float, float]] = {}
+    rows = []
+    for key in point_keys:
+        replications, horizon, measure_scalar = SIM_LOOP_POINTS[key]
+        warmup = horizon * 0.05
+        seeds = [1000 + index for index in range(replications)]
+
+        if measure_scalar:
+            started = time.perf_counter()
+            scalar_events = 0
+            for seed in seeds:
+                result = simulate_closed_map_network(
+                    front, db, think, population, horizon=horizon, warmup=warmup,
+                    rng=np.random.default_rng(seed),
+                )
+                scalar_events += result.events
+            scalar_seconds = time.perf_counter() - started
+            scalar_per_rep[horizon] = (
+                scalar_seconds / replications,
+                scalar_events / replications,
+            )
+            scalar_extrapolated = False
+        else:
+            if horizon not in scalar_per_rep:
+                probe = time.perf_counter()
+                result = simulate_closed_map_network(
+                    front, db, think, population, horizon=horizon, warmup=warmup,
+                    rng=np.random.default_rng(seeds[0]),
+                )
+                scalar_per_rep[horizon] = (
+                    time.perf_counter() - probe, float(result.events)
+                )
+            seconds_per_rep, events_per_rep = scalar_per_rep[horizon]
+            scalar_seconds = seconds_per_rep * replications
+            scalar_events = events_per_rep * replications
+            scalar_extrapolated = True
+
+        started = time.perf_counter()
+        batched = simulate_closed_map_network_batch(
+            front, db, think, population, horizon=horizon, warmup=warmup, seeds=seeds,
+        )
+        batched_seconds = time.perf_counter() - started
+        batched_events = sum(result.events for result in batched)
+
+        rows.append({
+            "key": key,
+            "replications": replications,
+            "horizon": horizon,
+            "scalar_seconds": scalar_seconds,
+            "scalar_cell_seconds": scalar_seconds / replications,
+            "scalar_extrapolated": scalar_extrapolated,
+            "scalar_events_per_second": scalar_events / scalar_seconds,
+            "batched_seconds": batched_seconds,
+            "batched_cell_seconds": batched_seconds / replications,
+            "batched_events_per_second": batched_events / batched_seconds,
+            "speedup": scalar_seconds / batched_seconds,
+        })
+    return rows
+
+
 def run_benchmarks(quick: bool) -> dict:
     import numpy
     import scipy
@@ -185,6 +289,7 @@ def run_benchmarks(quick: bool) -> dict:
     solve_populations = QUICK_SOLVE_POPULATIONS if quick else FULL_SOLVE_POPULATIONS
     sweep_populations = [25, 50, 75, 100] if quick else [100, 200, 300, 400, 500]
     sim_horizon = 2000.0 if quick else 20000.0
+    sim_loop_points = QUICK_SIM_LOOP if quick else FULL_SIM_LOOP
     build_repeats = 3 if quick else 5
     return {
         "benchmark": "closed MAP network solver + simulator",
@@ -203,6 +308,7 @@ def run_benchmarks(quick: bool) -> dict:
             "exact_solve": bench_exact_solve(solve_populations),
             "sweep": bench_sweep(sweep_populations),
             "simulation": bench_simulation(sim_horizon),
+            "sim_loop": bench_sim_loop(sim_loop_points),
         },
     }
 
@@ -250,6 +356,14 @@ def history_entry(document: dict, sha: str) -> dict:
         },
         "sweep_seconds": results["sweep"]["seconds"],
         "simulation_rate": results["simulation"]["completions_per_second"],
+        "sim_loop": {
+            row["key"]: {
+                "scalar_seconds": row["scalar_seconds"],
+                "batched_seconds": row["batched_seconds"],
+                "speedup": row["speedup"],
+            }
+            for row in results.get("sim_loop", [])
+        },
     }
 
 
@@ -297,10 +411,11 @@ def check_regressions(
 ) -> list[str]:
     """Regression messages for ``entry`` vs ``baseline`` (empty = gate passes).
 
-    Gated metrics: ``generator_build`` Kronecker assembly time and every
+    Gated metrics: ``generator_build`` Kronecker assembly time, every
     ``exact_solve`` population present in *both* entries (quick and full
     grids overlap at N=100, so CI quick runs gate against committed full
-    runs too).
+    runs too), and both kernels' seconds of every ``sim_loop`` rung present
+    in both entries (the grids overlap at R64).
     """
     messages = []
 
@@ -322,6 +437,15 @@ def check_regressions(
             compare(
                 f"exact_solve[N={population}]", seconds, baseline_solves[population]
             )
+    baseline_sim_loop = baseline.get("sim_loop", {})
+    for key, point in entry.get("sim_loop", {}).items():
+        if key in baseline_sim_loop:
+            for kernel in ("scalar_seconds", "batched_seconds"):
+                compare(
+                    f"sim_loop[{key}].{kernel}",
+                    point[kernel],
+                    baseline_sim_loop[key].get(kernel, 0.0),
+                )
     return messages
 
 
@@ -389,6 +513,14 @@ def main(argv=None) -> int:
     print(f"sweep {sweep['populations']}: {sweep['seconds']:.2f}s")
     sim = document["results"]["simulation"]
     print(f"simulation: {sim['completions_per_second']:,.0f} completions/s")
+    for row in document["results"]["sim_loop"]:
+        scalar_note = " (extrapolated)" if row["scalar_extrapolated"] else ""
+        print(
+            f"sim_loop R={row['replications']} horizon={row['horizon']:g}: "
+            f"scalar {row['scalar_seconds']:.2f}s{scalar_note} vs "
+            f"batched {row['batched_seconds']:.2f}s -> {row['speedup']:.1f}x "
+            f"({row['batched_events_per_second']:,.0f} ev/s batched)"
+        )
     entries = len(history) if regressions else len(history) + 1
     print(f"wrote {args.output} ({entries} trajectory entries)")
 

@@ -28,13 +28,9 @@ while leaving the shapes of all results intact.
 
 from __future__ import annotations
 
-import hashlib
-from pathlib import Path
-
 import numpy as np
 import pytest
 
-import repro
 from repro.experiments import ExperimentRunner, default_cache_dir, get_scenario
 from repro.experiments.cli import format_table  # noqa: F401  (shared table renderer)
 from repro.experiments.registry import MODEL_THINK_TIME  # noqa: F401  (re-exported)
@@ -46,34 +42,20 @@ from repro.tpcw import build_model_from_testbed
 EB_VALUES = list(REGISTRY_EB_VALUES)
 
 
-def _source_fingerprint() -> str:
-    """Content hash of the ``repro`` source tree.
-
-    Scenario content hashes cover the spec, not the code that executes it,
-    so the harness keys its cache by source fingerprint as well: touching
-    any solver or simulator invalidates the benchmark cache instead of
-    silently serving pre-change results to the accuracy assertions.
-    """
-    root = Path(repro.__file__).parent
-    digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
-        digest.update(path.read_bytes())
-    return digest.hexdigest()[:12]
-
-
 @pytest.fixture(scope="session")
 def experiment_runner():
     """Engine runner shared by the harness: parallel fan-out, artifact cache.
 
     A second harness run on unchanged sources (or a run after a mid-session
     kill) is served from npz side-files instead of re-simulating;
-    ``REPRO_EXPERIMENTS_CACHE`` relocates the store, and stale fingerprint
-    subdirectories are plain cache directories (``cache gc`` / ``rm -rf``
-    clean them up).
+    ``REPRO_EXPERIMENTS_CACHE`` relocates the store.  Source-change
+    invalidation needs no harness-side keying any more: every run manifest
+    embeds the solver/simulator code fingerprint
+    (:func:`repro.experiments.cache.source_fingerprint`), so touching any
+    kernel turns the old entries into logged misses and ``cache gc`` prunes
+    them.
     """
-    cache_dir = default_cache_dir() / f"src-{_source_fingerprint()}"
-    return ExperimentRunner(cache_dir=cache_dir, keep_artifacts=True)
+    return ExperimentRunner(cache_dir=default_cache_dir(), keep_artifacts=True)
 
 
 @pytest.fixture(scope="session")

@@ -15,6 +15,15 @@ side-files.  The manifest embeds the spec and its hash, which
 SHA-256 digest per side-file, which :class:`ArtifactRef` re-verifies on
 every load.
 
+The manifest also embeds a **code fingerprint** (:func:`source_fingerprint`):
+a content hash of every ``repro`` module that can affect a cell's computed
+values — the whole tree minus the engine's storage/scheduling/presentation
+modules.  Spec hashes cover what was asked for, not the code that computed
+it, so an entry written before a solver or simulator kernel changed could
+otherwise silently serve pre-change numbers; a fingerprint mismatch is a
+logged miss instead (both for complete loads and for resume-from-partial),
+and ``cache gc`` prunes such entries — they can never be served again.
+
 Writes are incremental and atomic: the runner streams completed cells into
 a :class:`CacheWriter`, which writes each artifact side-file and rewrites
 the manifest (temp file + ``os.replace``) after every cell, with
@@ -24,7 +33,9 @@ a valid partial entry, and the next run of the same spec resumes from it
 
 Unreadable, truncated or hand-edited entries are never an error: they are
 treated as a miss (logged at WARNING).  Entries written by the pre-artifact
-single-file format (``<scenario-name>-<spec-hash>.json``) are still read.
+single-file format (``<scenario-name>-<spec-hash>.json``) predate the code
+fingerprint and therefore cannot prove which kernels produced them: they are
+listed by ``cache ls`` and removed by ``rm``/``gc``, but never served.
 """
 
 from __future__ import annotations
@@ -36,12 +47,13 @@ import os
 import re
 import shutil
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 
 from repro.experiments.results import ArtifactIntegrityError, ArtifactRef, write_artifact
 from repro.experiments.results.schema import CellResult, ExperimentResult
-from repro.experiments.spec import ARTIFACT_SOLVERS, ScenarioSpec, cell_key
+from repro.experiments.spec import ScenarioSpec, cell_key
 
 __all__ = [
     "CacheEntryInfo",
@@ -49,6 +61,7 @@ __all__ = [
     "GcReport",
     "ResultCache",
     "default_cache_dir",
+    "source_fingerprint",
 ]
 
 logger = logging.getLogger(__name__)
@@ -56,7 +69,7 @@ logger = logging.getLogger(__name__)
 _CACHE_ENV_VAR = "REPRO_EXPERIMENTS_CACHE"
 _DEFAULT_DIRNAME = ".experiments-cache"
 _MANIFEST = "manifest.json"
-_FORMAT = 2
+_FORMAT = 3  # 3: manifests embed the solver-code fingerprint
 _HASH_LEN = 16  # length of ScenarioSpec.hash()
 #: How long gc leaves a manifest-less (corrupt-looking) entry alone, so a
 #: concurrent run that has written its first artifact but not yet its first
@@ -67,6 +80,49 @@ _CORRUPT_GRACE_SECONDS = 3600.0
 def default_cache_dir() -> Path:
     """Cache directory: ``$REPRO_EXPERIMENTS_CACHE`` or ``./.experiments-cache``."""
     return Path(os.environ.get(_CACHE_ENV_VAR, _DEFAULT_DIRNAME))
+
+
+#: Engine modules whose code can never change a cell's *computed values*:
+#: storage/transport (cache), presentation (cli), scheduling (runner — cells
+#: are seeded by the spec, not by dispatch), and the registry (a registry
+#: edit changes the spec itself, which the spec hash already covers).
+#: Everything else in ``repro.experiments`` IS value-determining —
+#: ``solvers.py`` holds execution defaults and metric construction,
+#: ``spec.py`` the grid expansion and seed derivation, ``results/`` the
+#: artifact codecs — and stays in the fingerprint.
+_FINGERPRINT_NEUTRAL_MODULES = frozenset({
+    "experiments/__init__.py",
+    "experiments/__main__.py",
+    "experiments/cache.py",
+    "experiments/cli.py",
+    "experiments/registry.py",
+    "experiments/runner.py",
+})
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Content hash of every ``repro`` module that can affect cell values.
+
+    Covers the whole ``repro`` tree minus the few engine modules that only
+    store, schedule or present results (:data:`_FINGERPRINT_NEUTRAL_MODULES`)
+    — so editing any solver, simulator, model, codec, execution default or
+    seed-derivation rule invalidates cached entries.  Run manifests embed
+    this fingerprint so a cached cell is only ever served by a source state
+    that computes the same values.  Memoised per process — the source tree
+    does not change under a running interpreter.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if relative in _FINGERPRINT_NEUTRAL_MODULES:
+            continue
+        digest.update(relative.encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:12]
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -93,6 +149,9 @@ class CacheEntryInfo:
     artifacts: int
     total_bytes: int
     mtime: float
+    #: ``code_fingerprint`` recorded in the manifest (``None`` for legacy and
+    #: corrupt entries, which can never be served).
+    code_fingerprint: str | None = None
 
     @property
     def age_seconds(self) -> float:
@@ -140,7 +199,14 @@ class ResultCache:
         """
         manifest = self._read_manifest(spec)
         if manifest is None:
-            return self._load_legacy(spec)
+            legacy = self.legacy_path(spec)
+            if legacy.exists():
+                logger.warning(
+                    "legacy cache entry %s predates the solver-code fingerprint "
+                    "and cannot prove which kernels produced it; treating it as "
+                    "a miss (remove it with `cache rm` or `cache gc`)", legacy,
+                )
+            return None
         if manifest.get("status") != "complete":
             return None
         rows_by_key = self._rows_from_manifest(spec, manifest)
@@ -216,6 +282,14 @@ class ResultCache:
                 "treating it as a miss", path, spec.hash(),
             )
             return None
+        fingerprint = manifest.get("code_fingerprint")
+        if fingerprint != source_fingerprint():
+            logger.warning(
+                "cache entry %s was produced by a different solver/simulator "
+                "source state (%s, current %s); treating it as a miss",
+                self.path(spec), fingerprint, source_fingerprint(),
+            )
+            return None
         return manifest
 
     def _rows_from_manifest(
@@ -237,49 +311,6 @@ class ResultCache:
                 "treating malformed cache manifest in %s as a miss: %s", directory, error
             )
             return None
-
-    def _load_legacy(self, spec: ScenarioSpec) -> ExperimentResult | None:
-        path = self.legacy_path(spec)
-        if not path.exists():
-            return None
-        # The single-file format carried scalar metrics only; scenarios whose
-        # solvers now attach artifacts (and, for mtrace1, grew new metrics)
-        # cannot be satisfied by such an entry — recompute instead of serving
-        # rows that crash artifact/metric accessors downstream.
-        if any(solver.kind in ARTIFACT_SOLVERS for solver in spec.solvers):
-            logger.warning(
-                "legacy cache entry %s predates the artifact schema required by "
-                "scenario %s; treating it as a miss", path, spec.name,
-            )
-            return None
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            logger.warning(
-                "treating unreadable legacy cache entry %s as a miss: %s", path, error
-            )
-            return None
-        if not isinstance(payload, dict) or payload.get("spec_hash") != spec.hash():
-            return None
-        try:
-            result = ExperimentResult.from_dict(payload, from_cache=True)
-        except (KeyError, TypeError, ValueError) as error:
-            logger.warning(
-                "treating malformed legacy cache entry %s as a miss: %s", path, error
-            )
-            return None
-        total = len(result.rows)
-        return replace(
-            result,
-            meta={
-                "cells_total": total,
-                "cells_computed": 0,
-                "cells_from_cache": total,
-                "artifacts_written": 0,
-                "artifact_bytes_written": 0,
-                "legacy_entry": True,
-            },
-        )
 
     # ------------------------------------------------------------------
     # Write
@@ -340,6 +371,7 @@ class ResultCache:
                     artifacts=sum(1 for r in rows if r.get("artifact") is not None),
                     total_bytes=total_bytes,
                     mtime=manifest_path.stat().st_mtime,
+                    code_fingerprint=manifest.get("code_fingerprint"),
                 )
             except (OSError, json.JSONDecodeError, KeyError, TypeError):
                 return CacheEntryInfo(
@@ -388,6 +420,10 @@ class ResultCache:
         * entries of a scenario in ``current_hashes`` whose hash differs from
           the current spec hash (the spec changed, the entry can never be
           served again),
+        * entries whose ``code_fingerprint`` differs from the current
+          :func:`source_fingerprint` — the solver/simulator code changed, so
+          they can never be served again either; legacy single-file entries
+          (which predate the fingerprint entirely) fall in the same bucket,
         * entries older than ``max_age_days``,
         * corrupt remnants (entry-named paths with an unreadable manifest)
           that have been sitting for at least an hour — the grace period
@@ -407,12 +443,16 @@ class ResultCache:
             stale_hash = (
                 info.name in current_hashes and info.spec_hash != current_hashes[info.name]
             )
+            stale_code = (
+                info.status in ("complete", "partial")
+                and info.code_fingerprint != source_fingerprint()
+            ) or info.status == "legacy"
             too_old = (
                 max_age_days is not None
                 and info.age_seconds > max_age_days * 86400.0
             )
             corrupt = info.status == "corrupt" and info.age_seconds > _CORRUPT_GRACE_SECONDS
-            if stale_hash or too_old or corrupt:
+            if stale_hash or stale_code or too_old or corrupt:
                 freed += info.total_bytes
                 _remove_entry_path(info.path)
                 removed_entries.append(info.path.name)
@@ -520,6 +560,7 @@ class CacheWriter:
             "name": self.spec.name,
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec.hash(),
+            "code_fingerprint": source_fingerprint(),
             "status": status,
             "elapsed_seconds": elapsed_seconds,
             "rows": list(self._records.values()),

@@ -6,11 +6,14 @@
     python -m repro.experiments show fig4
     python -m repro.experiments run fig4 [--jobs N] [--force] [--no-cache]
                                          [--cache-dir DIR] [--json]
+                                         [--sim-backend {event,batched}]
     python -m repro.experiments sweep fig9 --populations 50,100,200
                                          [--think-times 0.5,1.0]
-                                         [--solvers ctmc,mva] [--tier TIER] [...]
+                                         [--solvers ctmc,mva] [--tier TIER]
+                                         [--sim-backend {event,batched}] [...]
     python -m repro.experiments export table1 [--format csv] [--output FILE]
                                          [--artifacts DIR] [--cache-dir DIR]
+                                         [--sim-backend {event,batched}]
     python -m repro.experiments cache ls [--cache-dir DIR]
     python -m repro.experiments cache rm <scenario> [--cache-dir DIR]
     python -m repro.experiments cache gc [--max-age-days D] [--cache-dir DIR]
@@ -22,7 +25,14 @@ vs served from the cache, how many artifact bytes were written, and the
 largest per-cell memory footprint.  ``sweep`` derives an ad-hoc grid from a
 registered workload — overriding its population axis, think time, solver set
 and (for exact-CTMC cells) the solver tier — and runs it through the same
-engine (one derived scenario per requested think time).  ``export`` pulls a
+engine (one derived scenario per requested think time).  ``--sim-backend``
+(on ``run`` and ``sweep``) forces the simulation kernel of every
+``simulation`` solver — the scalar ``event`` loop or the vectorized
+``batched`` replication kernel — mirroring how ``--tier`` forces the
+exact-CTMC tier; the override is stored in the solver options (so it
+participates in the spec hash) and the derived scenario name grows a
+``-{backend}`` suffix so its cache entries stay legible and are never
+gc-swept as stale versions of the registered scenario.  ``export`` pulls a
 *cached* run straight to CSV without re-solving anything: the scalar-metrics
 table on stdout or ``--output``, and with ``--artifacts DIR`` one CSV per
 artifact-bearing cell (e.g. the Table-1 response-time distributions).
@@ -57,8 +67,9 @@ from repro.experiments.spec import (
     TestbedWorkload,
 )
 from repro.queueing.ctmc import SOLVER_TIERS
+from repro.simulation.batched import SIM_BACKENDS
 
-__all__ = ["main", "format_table", "build_sweep_spec"]
+__all__ = ["main", "format_table", "apply_sim_backend", "build_sweep_spec"]
 
 _PREFERRED_METRICS = (
     "throughput",
@@ -153,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run (or load from cache) a scenario")
     run.add_argument("scenario", help="registered scenario name")
+    run.add_argument(
+        "--sim-backend",
+        choices=SIM_BACKENDS,
+        default=None,
+        help="force the simulation kernel of every simulation solver "
+        "(default: the solver's own sim_backend option, else the event loop)",
+    )
     _add_runner_arguments(run)
 
     sweep = commands.add_parser(
@@ -186,6 +204,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="force the exact-CTMC solver tier for ctmc cells "
         "(default: size-based selection)",
     )
+    sweep.add_argument(
+        "--sim-backend",
+        choices=SIM_BACKENDS,
+        default=None,
+        help="force the simulation kernel of every simulation solver "
+        "(default: the solver's own sim_backend option, else the event loop)",
+    )
     _add_runner_arguments(sweep)
 
     export = commands.add_parser(
@@ -194,6 +219,13 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("scenario", help="registered scenario name")
     export.add_argument(
         "--format", choices=("csv",), default="csv", help="output format (csv)"
+    )
+    export.add_argument(
+        "--sim-backend",
+        choices=SIM_BACKENDS,
+        default=None,
+        help="export the cache entry of the backend-overridden run "
+        "(the same derived spec `run --sim-backend` caches under)",
     )
     export.add_argument(
         "--output", default=None, help="metrics CSV path (default: stdout)"
@@ -319,7 +351,39 @@ def _print_run_outcome(spec: ScenarioSpec, result: ExperimentResult, runner, cac
         print(f"cached at {runner.cache.path(spec)}")
 
 
+def apply_sim_backend(spec: ScenarioSpec, backend: str) -> ScenarioSpec:
+    """Force the simulation backend of every ``simulation`` solver.
+
+    The override lives in the solver options, so it participates in the spec
+    content hash; the scenario name grows a ``-{backend}`` suffix so the
+    derived cache entries stay legible and ``cache gc`` (which prunes
+    registered names whose hash changed) never sweeps them as stale versions
+    of the base scenario.  Raises :class:`ValueError` when the scenario has
+    no simulation solver — the flag would silently do nothing.
+    """
+    if backend not in SIM_BACKENDS:
+        raise ValueError(f"unknown sim backend {backend!r}; expected one of {SIM_BACKENDS}")
+    if not any(solver.kind == "simulation" for solver in spec.solvers):
+        raise ValueError(
+            f"scenario {spec.name!r} has no simulation solver; --sim-backend "
+            "would have no effect"
+        )
+    solvers = tuple(
+        replace(solver, options={**solver.options, "sim_backend": backend})
+        if solver.kind == "simulation"
+        else solver
+        for solver in spec.solvers
+    )
+    return replace(spec, name=f"{spec.name}-{backend}", solvers=solvers)
+
+
 def _cmd_run(args, spec) -> int:
+    if args.sim_backend is not None:
+        try:
+            spec = apply_sim_backend(spec, args.sim_backend)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     runner = ExperimentRunner(cache_dir=cache_dir, jobs=args.jobs)
     result = runner.run(spec, force=args.force)
@@ -393,6 +457,8 @@ def _cmd_sweep(args, base: ScenarioSpec) -> int:
             build_sweep_spec(base, args.populations, think_time, args.solvers, args.tier)
             for think_time in (think_times if think_times is not None else [None])
         ]
+        if args.sim_backend is not None:
+            specs = [apply_sim_backend(spec, args.sim_backend) for spec in specs]
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -470,6 +536,12 @@ def _cmd_export(args, spec) -> int:
 
     from itertools import zip_longest
 
+    if args.sim_backend is not None:
+        try:
+            spec = apply_sim_backend(spec, args.sim_backend)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     cache = ResultCache(args.cache_dir or default_cache_dir())
     result = cache.load(spec)
     if result is None:

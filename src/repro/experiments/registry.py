@@ -9,6 +9,8 @@ name                what it reproduces / explores
 ``fig4``            measured EB sweeps of the three TPC-W mixes
 ``fig5``–``fig8``   the 100-EB runs behind the time-series figures
 ``fig9``            closed MAP network: CTMC vs simulation vs MVA vs bounds
+``fig9_ci``         the fig9 network with 64 batched simulation replications
+                    per grid point (tight confidence intervals vs the CTMC)
 ``fig10``           MVA prediction error against measurements
 ``fig11``           monitoring-granularity study (Z_estim = 0.5 s vs 7 s)
 ``fig12``           the headline MAP-model vs MVA vs measured comparison
@@ -265,6 +267,31 @@ def _fig9() -> ScenarioSpec:
     )
 
 
+def _fig9_ci() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig9_ci",
+        description="Figure 9 network with 64 batched simulation replications per "
+        "grid point: sub-percent confidence intervals cross-checked against the "
+        "exact CTMC (the workload class the vectorized kernel exists for)",
+        workload=SyntheticWorkload(
+            front=MapSpec(family="exponential", mean=0.02),
+            db_mean=0.015,
+            db_scv=(4.0,),
+            db_decay=(0.95,),
+            think_time=0.5,
+            populations=(5, 15, 30),
+        ),
+        solvers=(
+            SolverSpec(kind="ctmc"),
+            SolverSpec(
+                kind="simulation",
+                options={"horizon": 2000.0, "warmup": 200.0, "sim_backend": "batched"},
+            ),
+        ),
+        replication=ReplicationPolicy(replications=64, base_seed=2008, policy="per_cell"),
+    )
+
+
 def _fig10() -> ScenarioSpec:
     spec = tpcw_sweep_scenario(
         "fig10",
@@ -388,6 +415,7 @@ register_scenario("fig4", _fig4)
 for _name in ("fig5", "fig6", "fig7", "fig8"):
     register_scenario(_name, _timeseries_scenario(_name, _name[3:]))
 register_scenario("fig9", _fig9)
+register_scenario("fig9_ci", _fig9_ci)
 register_scenario("fig10", _fig10)
 register_scenario("fig11", _fig11)
 register_scenario("fig12", _fig12)

@@ -8,6 +8,16 @@ by the spec (see :meth:`ScenarioSpec.cells`) — completion order does not
 matter, so the pool streams cells back as they finish
 (``imap_unordered``) and the final rows are re-assembled in grid order.
 
+Simulation cells whose effective backend is ``batched`` (see
+:func:`~repro.experiments.solvers.simulation_backend`) are not dispatched as
+``R`` separate one-replication tasks: the runner groups every pending
+replication of a grid point into one work unit and executes the whole set in
+a single call of the vectorized kernel
+(:func:`~repro.experiments.solvers.execute_simulation_group`).  The kernel
+is batch-composition independent, so a resumed run — whose groups contain
+only the replications a killed run did not finish — still reproduces the
+original rows bit-identically.
+
 With a cache directory configured, every completed cell is written to the
 run directory *as it arrives* (artifact side-files included, see
 :mod:`repro.experiments.cache`), so a killed run leaves a valid partial
@@ -33,7 +43,12 @@ from typing import Iterator
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.results import CellResult, ExperimentResult
-from repro.experiments.solvers import execute_cell, warm_shared_inputs
+from repro.experiments.solvers import (
+    execute_cell,
+    execute_simulation_group,
+    simulation_batch_groups,
+    warm_shared_inputs,
+)
 from repro.experiments.spec import Cell, ScenarioSpec
 
 __all__ = ["ExperimentRunner", "run_scenario"]
@@ -41,13 +56,23 @@ __all__ = ["ExperimentRunner", "run_scenario"]
 _MAX_DEFAULT_JOBS = 8
 
 
-def _execute_payload(payload) -> tuple[str, CellResult]:
-    """Worker entry point; reconstructs the spec/cell from plain dicts."""
-    spec_dict, cell_dict, keep_artifacts = payload
+def _execute_payload(payload) -> list[tuple[str, CellResult]]:
+    """Worker entry point; reconstructs the spec and cell(s) from plain dicts.
+
+    A payload is one work unit: either a single cell (``"cell"``) or every
+    pending replication of one batched-simulation grid point (``"group"``),
+    which the vectorized kernel executes in a single call.
+    """
+    kind, spec_dict, body, keep_artifacts = payload
     spec = ScenarioSpec.from_dict(spec_dict)
-    cell = Cell.from_dict(cell_dict)
-    result = execute_cell(spec, cell)
-    return cell.key, (result if keep_artifacts else result.without_artifact())
+    if kind == "group":
+        rows = execute_simulation_group(spec, [Cell.from_dict(d) for d in body])
+    else:
+        cell = Cell.from_dict(body)
+        rows = [(cell.key, execute_cell(spec, cell))]
+    return [
+        (key, row if keep_artifacts else row.without_artifact()) for key, row in rows
+    ]
 
 
 class ExperimentRunner:
@@ -134,20 +159,31 @@ class ExperimentRunner:
         # Persisting artifacts requires them to survive the worker boundary;
         # without a cache, stripping them early keeps serial runs lean.
         keep = self.keep_artifacts or self.cache is not None
-        jobs = self._effective_jobs(len(cells))
+        # Whole replication sets of batched-simulation grid points are one
+        # work unit each — one vectorized kernel call instead of R tasks.
+        groups, singles = simulation_batch_groups(spec, cells)
+        jobs = self._effective_jobs(len(groups) + len(singles))
         if jobs <= 1:
-            for cell in cells:
+            for group in groups:
+                for key, result in execute_simulation_group(spec, group):
+                    yield key, (result if keep else result.without_artifact())
+            for cell in singles:
                 result = execute_cell(spec, cell)
                 yield cell.key, (result if keep else result.without_artifact())
             return
         # Build the expensive shared inputs once here; forked workers inherit
         # the warmed caches instead of recomputing them per process.
-        warm_shared_inputs(spec, cells)
+        warm_shared_inputs(spec, singles)
         spec_dict = spec.to_dict()
-        payloads = [(spec_dict, cell.to_dict(), keep) for cell in cells]
+        payloads = [
+            ("group", spec_dict, [cell.to_dict() for cell in group], keep)
+            for group in groups
+        ]
+        payloads += [("cell", spec_dict, cell.to_dict(), keep) for cell in singles]
         context = _pool_context()
         with context.Pool(processes=jobs) as pool:
-            yield from pool.imap_unordered(_execute_payload, payloads)
+            for rows in pool.imap_unordered(_execute_payload, payloads):
+                yield from rows
 
     def _effective_jobs(self, num_cells: int) -> int:
         if self.jobs is not None:

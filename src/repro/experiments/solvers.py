@@ -23,6 +23,20 @@ metric                  produced by
 Expensive shared inputs (monitoring runs for fitted models, the Figure-1
 trace set) are memoised per process, so a multiprocessing worker pays for
 them once however many cells it executes.
+
+Simulation backends
+-------------------
+``simulation`` cells run on one of two kernels (recorded in
+``result.meta["sim_backend"]``): the scalar event loop (``event``, the
+default) or the vectorized batched-replication kernel
+(:mod:`repro.simulation.batched`, requested with ``{"sim_backend":
+"batched"}`` in the solver options).  The effective backend is a function of
+the *spec alone* (:func:`simulation_backend`): a batched request falls back
+to the scalar kernel when the scenario declares a single replication, so a
+cell computes identical values whether it is executed alone, in a fresh
+batch, or in the re-batched remainder of a resumed run.
+:func:`simulation_batch_groups` is how the runner partitions pending cells
+into whole-grid-point batches for :func:`execute_simulation_group`.
 """
 
 from __future__ import annotations
@@ -41,8 +55,15 @@ from repro.experiments.spec import (
     TestbedWorkload,
     TraceWorkload,
 )
+from repro.simulation.batched import SIM_BACKENDS
 
-__all__ = ["execute_cell", "warm_shared_inputs"]
+__all__ = [
+    "execute_cell",
+    "execute_simulation_group",
+    "simulation_backend",
+    "simulation_batch_groups",
+    "warm_shared_inputs",
+]
 
 DEFAULT_SIM_HORIZON = 2000.0
 DEFAULT_SIM_WARMUP = 200.0
@@ -65,7 +86,7 @@ def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
     workload = spec.workload
     started = time.perf_counter()
     if isinstance(workload, SyntheticWorkload):
-        metrics, artifact, meta = _execute_synthetic(workload, cell)
+        metrics, artifact, meta = _execute_synthetic(spec, cell)
     elif isinstance(workload, TestbedWorkload):
         metrics, artifact, meta = _execute_testbed(workload, cell)
     elif isinstance(workload, TraceWorkload):
@@ -133,19 +154,154 @@ def _fitted_model_args(workload: TestbedWorkload, cell: Cell) -> dict:
 # ----------------------------------------------------------------------
 # Synthetic closed MAP network
 # ----------------------------------------------------------------------
-def _execute_synthetic(workload: SyntheticWorkload, cell: Cell):
-    from repro.maps.map2 import map2_from_moments_and_decay
-    from repro.queueing.bounds import asymptotic_throughput_bounds, balanced_job_bounds
-    from repro.queueing.map_network import MapClosedNetworkSolver
-    from repro.queueing.mva import mva_closed_network
-    from repro.simulation.closed_network import simulate_closed_map_network
+def simulation_backend(spec: ScenarioSpec, cell: Cell) -> str:
+    """Effective simulation backend of one cell — a function of the spec.
 
-    population = int(cell.params["population"])
+    The ``sim_backend`` solver option requests a kernel; ``batched`` falls
+    back to the scalar event loop when the scenario declares a single
+    replication (there is nothing to batch, and the scalar kernel is the
+    cheaper path for one stream).  The decision must depend only on the spec
+    — never on how many cells happen to execute together — so that a cell
+    resumed from a partial cache entry reproduces its original values.
+    """
+    backend = str(cell.options.get("sim_backend", "event"))
+    if backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown sim_backend {backend!r}; expected one of {SIM_BACKENDS}"
+        )
+    if backend == "batched" and spec.replication.replications < 2:
+        return "event"
+    return backend
+
+
+def simulation_batch_groups(
+    spec: ScenarioSpec, cells: list[Cell]
+) -> tuple[list[list[Cell]], list[Cell]]:
+    """Partition cells into batched-simulation groups and the remainder.
+
+    A group is every pending replication of one ``(solver label, grid
+    point)`` whose effective backend is ``batched``; the runner hands each
+    group to :func:`execute_simulation_group` as one work unit.  Group size
+    does not matter for the results (the kernel is batch-composition
+    independent), only for how well one kernel call amortises.
+    """
+    if not isinstance(spec.workload, SyntheticWorkload):
+        return [], list(cells)
+    groups: dict[tuple, list[Cell]] = {}
+    rest: list[Cell] = []
+    for cell in cells:
+        if (
+            cell.solver_kind == "simulation"
+            and simulation_backend(spec, cell) == "batched"
+        ):
+            key = (cell.solver_label, tuple(sorted(
+                (name, repr(value)) for name, value in cell.params.items()
+            )))
+            groups.setdefault(key, []).append(cell)
+        else:
+            rest.append(cell)
+    return list(groups.values()), rest
+
+
+def _synthetic_network(workload: SyntheticWorkload, cell: Cell):
+    """The (front MAP, db MAP, think time, population) a cell describes."""
+    from repro.maps.map2 import map2_from_moments_and_decay
+
     front = workload.front.build()
     db = map2_from_moments_and_decay(
         workload.db_mean, float(cell.params["db_scv"]), float(cell.params["db_decay"])
     )
-    think = workload.think_time
+    return front, db, workload.think_time, int(cell.params["population"])
+
+
+def _simulation_metrics(result) -> dict:
+    return {
+        "throughput": result.throughput,
+        "front_utilization": result.front_utilization,
+        "db_utilization": result.db_utilization,
+        "front_queue_length": result.front_queue_length,
+        "db_queue_length": result.db_queue_length,
+        "completed": result.completed,
+        "measured_time": result.measured_time,
+        "events": result.events,
+    }
+
+
+def execute_simulation_group(
+    spec: ScenarioSpec, cells: list[Cell]
+) -> list[tuple[str, CellResult]]:
+    """Run every replication of one simulation grid point in one kernel call.
+
+    All cells must share their solver label and grid parameters (the runner's
+    :func:`simulation_batch_groups` guarantees it); their seeds become the
+    batched kernel's per-replication seeds, so each returned row is
+    bit-identical to executing its cell alone.  The kernel's wall-clock time
+    is split evenly across the rows (``elapsed_seconds``), with the whole
+    batch's cost and size recorded in ``meta`` (``sim_batch_seconds``,
+    ``sim_batch_size``).
+    """
+    from repro.simulation.batched import simulate_closed_map_network_batch
+
+    if not cells:
+        return []
+    workload = spec.workload
+    if not isinstance(workload, SyntheticWorkload):
+        raise ValueError("batched simulation requires a synthetic workload")
+    first = cells[0]
+    if any(
+        cell.params != first.params or cell.solver_label != first.solver_label
+        for cell in cells
+    ):
+        raise ValueError("a simulation batch must share one grid point and solver")
+    front, db, think, population = _synthetic_network(workload, first)
+    horizon = float(first.options.get("horizon", DEFAULT_SIM_HORIZON))
+    warmup = float(first.options.get("warmup", DEFAULT_SIM_WARMUP))
+    started = time.perf_counter()
+    results = simulate_closed_map_network_batch(
+        front,
+        db,
+        think,
+        population,
+        horizon=horizon,
+        warmup=warmup,
+        seeds=[cell.seed for cell in cells],
+    )
+    elapsed = time.perf_counter() - started
+    share = elapsed / len(cells)
+    peak_rss = round(_peak_rss_mb(), 1)
+    rows = []
+    for cell, result in zip(cells, results):
+        rows.append((
+            cell.key,
+            CellResult(
+                solver=cell.solver_label,
+                kind=cell.solver_kind,
+                params=dict(cell.params),
+                replication=cell.replication,
+                seed=cell.seed,
+                metrics={k: float(v) for k, v in _simulation_metrics(result).items()},
+                elapsed_seconds=share,
+                artifact=None,
+                meta={
+                    "sim_backend": "batched",
+                    "sim_batch_size": len(cells),
+                    "sim_batch_seconds": elapsed,
+                    "peak_rss_mb": peak_rss,
+                },
+            ),
+        ))
+    return rows
+
+
+def _execute_synthetic(spec: ScenarioSpec, cell: Cell):
+    from repro.queueing.bounds import asymptotic_throughput_bounds, balanced_job_bounds
+    from repro.queueing.map_network import MapClosedNetworkSolver
+    from repro.queueing.mva import mva_closed_network
+    from repro.simulation.batched import simulate_closed_map_network_batch
+    from repro.simulation.closed_network import simulate_closed_map_network
+
+    workload = spec.workload
+    front, db, think, population = _synthetic_network(workload, cell)
 
     if cell.solver_kind == "ctmc":
         # The ``tier`` option forces a steady-state solver tier (``direct``,
@@ -199,28 +355,26 @@ def _execute_synthetic(workload: SyntheticWorkload, cell: Cell):
     if cell.solver_kind == "simulation":
         horizon = float(cell.options.get("horizon", DEFAULT_SIM_HORIZON))
         warmup = float(cell.options.get("warmup", DEFAULT_SIM_WARMUP))
-        result = simulate_closed_map_network(
-            front,
-            db,
-            think,
-            population,
-            horizon=horizon,
-            warmup=warmup,
-            rng=np.random.default_rng(cell.seed),
-        )
-        return (
-            {
-                "throughput": result.throughput,
-                "front_utilization": result.front_utilization,
-                "db_utilization": result.db_utilization,
-                "front_queue_length": result.front_queue_length,
-                "db_queue_length": result.db_queue_length,
-                "completed": result.completed,
-                "measured_time": result.measured_time,
-            },
-            None,
-            {},
-        )
+        backend = simulation_backend(spec, cell)
+        if backend == "batched":
+            # A batch of one: same kernel and same per-replication stream as
+            # when the runner groups this cell with its sibling replications,
+            # so results agree across every execution path.
+            result = simulate_closed_map_network_batch(
+                front, db, think, population,
+                horizon=horizon, warmup=warmup, seeds=[cell.seed],
+            )[0]
+        else:
+            result = simulate_closed_map_network(
+                front,
+                db,
+                think,
+                population,
+                horizon=horizon,
+                warmup=warmup,
+                rng=np.random.default_rng(cell.seed),
+            )
+        return _simulation_metrics(result), None, {"sim_backend": backend}
     raise ValueError(
         f"solver {cell.solver_kind!r} is not applicable to synthetic workloads"
     )

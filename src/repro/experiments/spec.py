@@ -58,11 +58,6 @@ SEED_POLICIES = ("per_cell", "shared")
 #: Solver kinds whose output is a deterministic function of the spec; they
 #: run exactly once per grid point regardless of the replication count.
 DETERMINISTIC_SOLVERS = frozenset({"ctmc", "mva", "bounds", "fitted_map", "fitted_mva"})
-#: Solver kinds that attach a rich artifact to their cell results (the full
-#: testbed bundle, per-request response-time distributions).  Cache entries
-#: from the pre-artifact single-file format can never satisfy scenarios that
-#: use these solvers.
-ARTIFACT_SOLVERS = frozenset({"testbed", "mtrace1"})
 
 
 @dataclass(frozen=True)

@@ -6,9 +6,13 @@
   based on virtual (attained-service) time,
 * :mod:`~repro.simulation.trace_queue` — the trace-driven open queue used for
   Table 1 (Poisson arrivals, service times read from a trace, FCFS),
-* :mod:`~repro.simulation.closed_network` — a simulator of the abstract
-  closed network of Figure 9 (delay station plus two servers whose service
-  processes are MAPs), used to cross-validate the analytical solver,
+* :mod:`~repro.simulation.closed_network` — a scalar event-loop simulator of
+  the abstract closed network of Figure 9 (delay station plus two servers
+  whose service processes are MAPs), used to cross-validate the analytical
+  solver,
+* :mod:`~repro.simulation.batched` — a vectorized kernel that advances every
+  replication of that network in lockstep as numpy arrays (the ``batched``
+  simulation backend of the experiment engine),
 * :mod:`~repro.simulation.random_streams` — seeded random-stream management.
 """
 
@@ -19,6 +23,11 @@ from repro.simulation.closed_network import (
     ClosedNetworkSimResult,
     simulate_closed_map_network,
 )
+from repro.simulation.batched import (
+    BATCH_RNG_CHUNK,
+    SIM_BACKENDS,
+    simulate_closed_map_network_batch,
+)
 from repro.simulation.random_streams import RandomStreams, derive_seed, named_seed_sequence
 
 __all__ = [
@@ -28,6 +37,9 @@ __all__ = [
     "simulate_mtrace1",
     "ClosedNetworkSimResult",
     "simulate_closed_map_network",
+    "simulate_closed_map_network_batch",
+    "BATCH_RNG_CHUNK",
+    "SIM_BACKENDS",
     "RandomStreams",
     "derive_seed",
     "named_seed_sequence",

@@ -1,0 +1,452 @@
+"""Vectorized batched-replication simulator of the closed MAP network.
+
+One numpy kernel advances **all R replications of a cell in lockstep**: the
+per-replication network state is four small integers — ``(n_front, n_db,
+front_phase, db_phase)`` — so the whole batch lives in a handful of length-R
+arrays and every simulation step is a fixed sequence of array operations
+instead of per-event Python dispatch.  The kernel simulates exactly the same
+continuous-time Markov chain as the scalar event loop in
+:mod:`repro.simulation.closed_network` (think → front → database → think,
+service MAPs frozen while their server is idle), so its estimates agree with
+the scalar kernel and the exact CTMC solution within statistical error
+(asserted by the cross-validation suite).
+
+Why the jump chain, not uniformization
+--------------------------------------
+The issue that motivated this kernel suggested uniformizing with a global
+rate ``Λ = N/Z + max exit rates``.  For the bursty MAPs this repository is
+about, that is exactly the wrong regime: a fitted MAP(2) spends most of its
+time in a slow phase whose exit rate is an order of magnitude below the fast
+phase's, so a global-``Λ`` clock spends 70–85 % of its steps on self-loops.
+The kernel therefore advances the *embedded jump chain* directly (a
+vectorized Gillespie/SSA step): per step it computes each replication's total
+exit rate ``r = n_think/Z + busy_front·exit(front_phase) +
+busy_db·exit(db_phase)``, draws the holding time as ``Exp(1)/r``, picks the
+event category from one uniform, and resolves the MAP jump destination from a
+second uniform.  Statistically this is the same process — every step is a
+real transition, and the per-state holding times are exact.
+
+Seed policy
+-----------
+Results are **per-replication deterministic and batch-composition
+independent**: replication ``i`` owns ``numpy.random.default_rng(seeds[i])``
+and consumes only its own stream, so its result depends on ``seeds[i]``
+alone — not on ``R``, not on which other replications share the batch.  This
+is what lets the experiment runner resume a partially-cached replication set
+bit-identically: the missing replications are re-batched in any combination
+and still produce the original values.
+
+Per replication, the stream is consumed as:
+
+1. one uniform for the initial front phase, then one for the initial
+   database phase (inverse CDF of each MAP's embedded stationary
+   distribution),
+2. then blocks of ``BATCH_RNG_CHUNK`` draws per refill: that many unit
+   exponentials (holding times), then that many uniforms (event category),
+   then that many uniforms (jump destination).  Each simulation step consumes
+   exactly one variate from each of the three buffers, whatever the event
+   outcome.
+
+``BATCH_RNG_CHUNK`` is therefore part of the seed policy (like ``RNG_CHUNK``
+of the scalar kernel): changing it changes seeded trajectories.
+``BATCH_WINDOW`` (the statistics-reduction window) does not affect the
+trajectory, but it partitions the time-weighted sums and so pins their
+last-ulp rounding; together with the batch-width-independent pairwise fold
+(:func:`_fold_columns`) it is what makes a replication's result bit-equal
+whether it runs alone or inside any batch.
+
+The batched and scalar kernels consume their generators differently, so the
+same seed gives *different* (equally valid) trajectories on the two
+backends; fixed ``(seed, backend)`` is bit-identical across runs and
+platforms (pinned by a regression test).
+
+Performance
+-----------
+Per step the kernel pays a fixed number of numpy calls on length-R arrays,
+so the aggregate event rate grows almost linearly with ``R`` until memory
+bandwidth binds: the batch crosses over with the scalar kernel around R≈16
+and reaches an order of magnitude more events/second in the hundreds of
+replications (measured in ``BENCH_solver.json`` → ``sim_loop``).  That is
+the regime this kernel exists for — confidence intervals from hundreds or
+thousands of replications per grid point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.maps.map_process import MAP
+from repro.simulation.closed_network import ClosedNetworkSimResult
+
+__all__ = [
+    "simulate_closed_map_network_batch",
+    "BATCH_RNG_CHUNK",
+    "SIM_BACKENDS",
+]
+
+#: Recognised simulation backends of the experiment engine: the scalar event
+#: loop (``event``) and this kernel (``batched``).
+SIM_BACKENDS = ("event", "batched")
+
+#: Draws per stream per refill of a replication's RNG buffers.  Part of the
+#: batched seed policy (see module docstring).
+BATCH_RNG_CHUNK = 4096
+
+#: Steps per statistics-reduction window.  Small enough that the ``(window,
+#: R)`` buffers stay cache-resident at any R, and **fixed** — the window
+#: partitions the time-weighted sums, so (like ``BATCH_RNG_CHUNK``) changing
+#: it perturbs the last-ulp rounding of seeded results.  Must divide
+#: ``BATCH_RNG_CHUNK`` and be a power of two.
+BATCH_WINDOW = 64
+
+
+def _fold_columns(block: np.ndarray) -> np.ndarray:
+    """Deterministic pairwise tree-sum along axis 0 of a 2-D block.
+
+    Every fold level is an elementwise add across the full batch width, so
+    the floating-point rounding of each column's sum is *identical for any
+    R* — which is what makes a replication's statistics independent of the
+    batch it ran in.  (numpy's own axis sums switch between pairwise and
+    sequential accumulation depending on memory layout, and a single-column
+    array takes the contiguous code path — the sums would differ between a
+    batch of one and a batch of many.)  Requires a power-of-two row count.
+    """
+    while block.shape[0] > 1:
+        block = block[0::2] + block[1::2]
+    return block[0]
+
+
+def _jump_probabilities(map_process: MAP) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exit rates + per-phase hidden/marked jump probabilities of one MAP."""
+    rates = -np.diag(map_process.D0)
+    hidden = np.maximum(map_process.D0, 0.0)
+    np.fill_diagonal(hidden, 0.0)
+    marked = np.maximum(map_process.D1, 0.0)
+    return rates, hidden / rates[:, None], marked / rates[:, None]
+
+
+def _destination_table(front: MAP, db: MAP) -> np.ndarray:
+    """Globally-encoded jump CDF table (general MAP orders).
+
+    Global phases: front ``0..K1-1``, database ``K1..K1+K2-1`` (``KG`` in
+    total).  Row ``g`` is laid out over ``2*KG`` outcome columns so that for
+    a destination uniform ``v``, ``jump = count(row <= v)`` directly encodes
+    the outcome:
+
+    * ``jump < KG``: hidden transition to global phase ``jump``,
+    * ``jump >= KG``: marked transition (a completion) to global phase
+      ``jump - KG``.
+
+    Leading columns repeat the previous cumulative value (zero probability
+    mass) so database rows land in the database index range, and the last
+    real outcome column is set to ``2.0`` — always selectable, which clamps
+    cumulative rounding exactly like the scalar kernel's ``bisect`` clamp.
+    """
+    K1, K2 = front.order, db.order
+    KG = K1 + K2
+    table = np.full((KG, 2 * KG), 2.0)
+    for map_process, offset, order in ((front, 0, K1), (db, K1, K2)):
+        _, hidden_p, marked_p = _jump_probabilities(map_process)
+        for phase in range(order):
+            hidden_cum = np.cumsum(hidden_p[phase])
+            marked_cum = hidden_cum[-1] + np.cumsum(marked_p[phase])
+            row = np.full(2 * KG, 2.0)
+            row[:offset] = 0.0
+            row[offset:offset + order] = hidden_cum
+            row[offset + order:KG] = hidden_cum[-1]
+            row[KG:KG + offset] = hidden_cum[-1]
+            row[KG + offset:KG + offset + order] = marked_cum
+            row[KG + offset + order - 1] = 2.0
+            table[offset + phase] = row
+    return table
+
+
+def _destination_scalars(front: MAP, db: MAP):
+    """Branch-free per-phase jump scalars for MAPs of order <= 2.
+
+    For order 2 a hidden jump has exactly one possible destination (the
+    other phase; ``D0``'s diagonal is excluded) and a marked jump picks
+    between two, so the whole destination draw reduces to two threshold
+    comparisons — no per-row table gather.  Produces outcomes identical to
+    :func:`_destination_table` (asserted by a regression test).
+
+    Returns ``(hidden_prob, marked_threshold, marked_base, hidden_dest)``,
+    each indexed by global phase.
+    """
+    K1, K2 = front.order, db.order
+    KG = K1 + K2
+    hidden_prob = np.zeros(KG)
+    marked_threshold = np.full(KG, 2.0)
+    marked_base = np.zeros(KG, dtype=np.intp)
+    hidden_dest = np.zeros(KG, dtype=np.intp)
+    for map_process, offset, order in ((front, 0, K1), (db, K1, K2)):
+        if order > 2:
+            raise ValueError("scalar destination tables require MAP order <= 2")
+        _, hidden_p, marked_p = _jump_probabilities(map_process)
+        for phase in range(order):
+            g = offset + phase
+            hidden_prob[g] = hidden_p[phase].sum()
+            marked_base[g] = offset
+            hidden_dest[g] = offset + (1 - phase) if order == 2 else offset
+            if order == 2:
+                # v in [hidden, threshold) -> first marked destination,
+                # v >= threshold -> second; 2.0 == "never" (single dest).
+                marked_threshold[g] = hidden_prob[g] + marked_p[phase][0]
+    return hidden_prob, marked_threshold, marked_base, hidden_dest
+
+
+def _initial_phase(cumulative: np.ndarray, u: float) -> int:
+    phase = int(np.searchsorted(cumulative, u, side="right"))
+    return min(phase, len(cumulative) - 1)
+
+
+def simulate_closed_map_network_batch(
+    front_service: MAP,
+    db_service: MAP,
+    think_time: float,
+    population: int,
+    horizon: float,
+    warmup: float = 0.0,
+    seeds: Sequence[int] = (),
+    destination_path: str = "auto",
+) -> list[ClosedNetworkSimResult]:
+    """Simulate ``len(seeds)`` replications of the closed network at once.
+
+    Parameters mirror :func:`~repro.simulation.closed_network.
+    simulate_closed_map_network`; instead of one ``rng`` the caller passes
+    one integer seed per replication (see the module docstring for the seed
+    policy).  Returns one :class:`ClosedNetworkSimResult` per seed, in seed
+    order.
+
+    ``destination_path`` selects how MAP jump destinations are resolved:
+    ``"auto"`` uses the branch-free scalar path when both MAPs have order
+    <= 2 and the general CDF table otherwise; ``"table"`` / ``"scalars"``
+    force a path (the two are outcome-identical where both apply — forcing
+    exists for tests and benchmarks).
+    """
+    if think_time <= 0:
+        raise ValueError("think_time must be positive for the simulator")
+    if population < 1:
+        raise ValueError("population must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    if horizon <= warmup:
+        raise ValueError("horizon must exceed warmup")
+    if not seeds:
+        raise ValueError("seeds must contain at least one replication seed")
+    if destination_path not in ("auto", "table", "scalars"):
+        raise ValueError(f"unknown destination_path {destination_path!r}")
+
+    num_replications = len(seeds)
+    rngs = [np.random.default_rng(seed) for seed in seeds]
+    K1, K2 = front_service.order, db_service.order
+    KG = K1 + K2
+    small_orders = K1 <= 2 and K2 <= 2
+    if destination_path == "scalars" and not small_orders:
+        raise ValueError("destination_path='scalars' requires MAP orders <= 2")
+    use_scalars = small_orders if destination_path == "auto" else destination_path == "scalars"
+
+    exit_rate = np.concatenate([-np.diag(front_service.D0), -np.diag(db_service.D0)])
+    if use_scalars:
+        hid_prob, mark_thresh, mark_base, hid_dest = _destination_scalars(
+            front_service, db_service
+        )
+        table = table_width = None
+    else:
+        table = _destination_table(front_service, db_service)
+        table_width = table.shape[1]
+    inv_think = 1.0 / think_time
+
+    R = num_replications
+    # -- initial state: everyone thinking, phases ~ embedded stationary ----
+    front_cum = np.cumsum(front_service.embedded_stationary)
+    db_cum = np.cumsum(db_service.embedded_stationary)
+    fp = np.empty(R, dtype=np.intp)
+    dp = np.empty(R, dtype=np.intp)
+    for r, rng in enumerate(rngs):
+        fp[r] = _initial_phase(front_cum, rng.random())
+        dp[r] = K1 + _initial_phase(db_cum, rng.random())
+
+    nf = np.zeros(R, dtype=np.int64)
+    ndb = np.zeros(R, dtype=np.int64)
+    clock = np.zeros(R)
+    busy_front = np.zeros(R)
+    busy_db = np.zeros(R)
+    area_front = np.zeros(R)
+    area_db = np.zeros(R)
+    measured = np.zeros(R)
+    completed = np.zeros(R, dtype=np.int64)
+    events = np.zeros(R, dtype=np.int64)
+
+    # -- RNG stores: (BATCH_RNG_CHUNK, R) consumed row-per-step; the +1
+    # column pad breaks the power-of-two stride that would otherwise alias
+    # every refill column onto the same cache sets ----------------------
+    chunk = BATCH_RNG_CHUNK
+    store_shape = (chunk, R + 1)
+    exp_store = np.empty(store_shape)
+    event_store = np.empty(store_shape)
+    dest_store = np.empty(store_shape)
+    refill_block = min(16, R)
+    refill_scratch = np.empty((refill_block, chunk))
+
+    def _refill() -> None:
+        # Per replication and per refill: `chunk` exponentials, then `chunk`
+        # event uniforms, then `chunk` destination uniforms (the seed
+        # policy).  Replications are drawn in blocks through a contiguous
+        # scratch so the transposed store write stays cache-friendly.
+        for store, draw in (
+            (exp_store, lambda rng, out: rng.standard_exponential(chunk, out=out)),
+            (event_store, lambda rng, out: rng.random(out=out)),
+            (dest_store, lambda rng, out: rng.random(out=out)),
+        ):
+            for r0 in range(0, R, refill_block):
+                block = min(refill_block, R - r0)
+                for i in range(block):
+                    draw(rngs[r0 + i], refill_scratch[i])
+                store[:, r0:r0 + block] = refill_scratch[:block].T
+
+    # -- per-window statistics buffers ----------------------------------
+    S = BATCH_WINDOW
+    nf_buf = np.empty((S, R), dtype=np.int32)
+    ndb_buf = np.empty((S, R), dtype=np.int32)
+    clock_buf = np.empty((S, R))
+    md_buf = np.empty((S, R), dtype=bool)
+    before = np.empty((S, R))
+    seg = np.empty((S, R))
+    seg_start = np.empty((S, R))
+
+    # -- length-R scratch (the hot loop allocates nothing) -----------------
+    occupancy = np.empty(R, dtype=np.int64)
+    think_rate = np.empty(R)
+    front_rate = np.empty(R)
+    db_rate = np.empty(R)
+    through_front = np.empty(R)
+    total_rate = np.empty(R)
+    dt = np.empty(R)
+    u = np.empty(R)
+    past_think = np.empty(R, dtype=bool)
+    past_front = np.empty(R, dtype=bool)
+    front_busy = np.empty(R, dtype=bool)
+    db_busy = np.empty(R, dtype=bool)
+    front_event = np.empty(R, dtype=bool)
+    think_event = np.empty(R, dtype=bool)
+    marked = np.empty(R, dtype=bool)
+    marked_front = np.empty(R, dtype=bool)
+    marked_db = np.empty(R, dtype=bool)
+    act = np.empty(R, dtype=np.intp)
+    dest = np.empty(R, dtype=np.intp)
+    dest_alt = np.empty(R, dtype=np.intp)
+    scratch_f = np.empty(R)
+    scratch_f2 = np.empty(R)
+    start_clock = np.empty(R)
+    if not use_scalars:
+        rows = np.empty((R, table_width))
+        rows_le = np.empty((R, table_width), dtype=bool)
+        jump = np.empty(R, dtype=np.intp)
+        jump_sub = np.empty(R, dtype=np.intp)
+
+    position = chunk  # forces a refill on the first window
+    population_f = float(population)
+    while True:
+        if position >= chunk:
+            _refill()
+            position = 0
+        np.copyto(start_clock, clock)
+        for s in range(S):
+            column = position + s
+            nf_buf[s] = nf
+            ndb_buf[s] = ndb
+            # total exit rate of every replication's current state
+            np.add(nf, ndb, out=occupancy)
+            np.subtract(population_f, occupancy, out=think_rate)
+            think_rate *= inv_think
+            np.take(exit_rate, fp, out=front_rate)
+            np.greater(nf, 0, out=front_busy)
+            front_rate *= front_busy
+            np.take(exit_rate, dp, out=db_rate)
+            np.greater(ndb, 0, out=db_busy)
+            db_rate *= db_busy
+            np.add(think_rate, front_rate, out=through_front)
+            np.add(through_front, db_rate, out=total_rate)
+            # holding time + clock
+            np.divide(exp_store[column, :R], total_rate, out=dt)
+            clock += dt
+            clock_buf[s] = clock
+            # event category: [0, think) -> think completion,
+            # [think, think+front) -> front MAP jump, rest -> db MAP jump
+            np.multiply(event_store[column, :R], total_rate, out=u)
+            np.greater_equal(u, think_rate, out=past_think)
+            np.greater_equal(u, through_front, out=past_front)
+            np.copyto(act, fp)
+            np.copyto(act, dp, where=past_front)
+            # jump destination of the active server's MAP
+            v = dest_store[column, :R]
+            if use_scalars:
+                np.take(hid_prob, act, out=scratch_f)
+                np.less(v, scratch_f, out=marked)  # temporarily "hidden"
+                np.take(mark_thresh, act, out=scratch_f2)
+                np.greater_equal(v, scratch_f2, out=marked_front)  # 2nd dest
+                np.take(mark_base, act, out=dest)
+                dest += marked_front
+                np.take(hid_dest, act, out=dest_alt)
+                np.copyto(dest, dest_alt, where=marked)
+                np.logical_not(marked, out=marked)
+            else:
+                np.take(table, act, axis=0, out=rows)
+                np.less_equal(rows, v[:, None], out=rows_le)
+                np.sum(rows_le, axis=1, out=jump)
+                np.greater_equal(jump, KG, out=marked)
+                np.multiply(marked, KG, out=jump_sub)
+                np.subtract(jump, jump_sub, out=dest)
+            # state updates
+            np.not_equal(past_think, past_front, out=front_event)
+            np.copyto(fp, dest, where=front_event)
+            np.copyto(dp, dest, where=past_front)
+            np.logical_and(front_event, marked, out=marked_front)
+            np.logical_and(past_front, marked, out=marked_db)
+            md_buf[s] = marked_db
+            np.logical_not(past_think, out=think_event)
+            nf += think_event
+            nf -= marked_front
+            ndb += marked_front
+            ndb -= marked_db
+        position += S
+        # -- window reductions: time-weighted statistics over [0, horizon],
+        # warmup excluded, exactly as the scalar kernel accumulates them.
+        # Float sums go through the batch-width-independent pairwise fold;
+        # the integer counts (events, completions) are exact in any order.
+        before[0] = start_clock
+        before[1:] = clock_buf[:-1]
+        np.minimum(clock_buf, horizon, out=seg)
+        np.maximum(before, warmup, out=seg_start)
+        seg -= seg_start
+        np.clip(seg, 0.0, None, out=seg)
+        measured += _fold_columns(seg)
+        busy_front += _fold_columns(seg * (nf_buf > 0))
+        busy_db += _fold_columns(seg * (ndb_buf > 0))
+        area_front += _fold_columns(seg * nf_buf)
+        area_db += _fold_columns(seg * ndb_buf)
+        events += (before < horizon).sum(axis=0)
+        completed += (md_buf & (clock_buf >= warmup) & (clock_buf < horizon)).sum(axis=0)
+        if clock.min() >= horizon:
+            break
+
+    return [
+        ClosedNetworkSimResult(
+            population=population,
+            think_time=think_time,
+            horizon=horizon,
+            throughput=float(completed[r] / measured[r]),
+            front_utilization=float(busy_front[r] / measured[r]),
+            db_utilization=float(busy_db[r] / measured[r]),
+            front_queue_length=float(area_front[r] / measured[r]),
+            db_queue_length=float(area_db[r] / measured[r]),
+            completed=int(completed[r]),
+            warmup=warmup,
+            measured_time=float(measured[r]),
+            events=int(events[r]),
+        )
+        for r in range(R)
+    ]

@@ -21,15 +21,25 @@ All randomness is drawn from the single ``rng`` passed in, but *in batches*:
 unit-rate exponential and uniform variates are pre-drawn in chunks of
 ``RNG_CHUNK`` and consumed from buffers (:class:`_ChunkedDraws`), so the
 event loop pays one numpy call per few thousand events instead of one per
-MAP jump.  Consequences:
+MAP jump.  *Every* draw goes through the buffers — including the two initial
+service phases, which are sampled by inverse CDF from one buffered uniform
+each (one for the front server, then one for the database).  Consequences:
 
 * a fixed ``(seed, RNG_CHUNK)`` pair gives bit-identical results across runs
   and platforms (pinned by a regression test),
 * trajectories differ from pre-batching versions of this module (the order
   in which the underlying bit stream is consumed changed), and changing
-  ``RNG_CHUNK`` is likewise a trajectory-breaking change,
+  ``RNG_CHUNK`` is likewise a trajectory-breaking change.  Routing the
+  initial-phase draws through the buffers (they previously bypassed the
+  chunked streams via ``rng.choice``) was one more deliberate trajectory
+  break, re-pinned in the regression test,
 * statistical properties are untouched — every variate is still an
   independent draw from the same generator.
+
+The vectorized batched-replication kernel
+(:mod:`repro.simulation.batched`) simulates the same process under its own
+seed policy; the two backends give different (equally valid) trajectories
+for the same seed.
 """
 
 from __future__ import annotations
@@ -63,6 +73,13 @@ class ClosedNetworkSimResult:
     completed: int
     warmup: float = 0.0
     measured_time: float = 0.0
+    #: Jump-chain transitions over the whole run (think completions plus MAP
+    #: jumps, hidden and marked, of busy servers) — the denominator-free
+    #: work measure the ``sim_loop`` benchmark reports as events/second.
+    #: The scalar kernel counts MAP jumps by stream consumption, so the last
+    #: partially-consumed completion interval adds a few jumps beyond the
+    #: horizon; the batched kernel counts steps started before the horizon.
+    events: int = 0
 
     def summary(self) -> dict:
         """Headline metrics (same keys as the analytical solver)."""
@@ -84,7 +101,7 @@ class _ChunkedDraws:
     loop at a couple of list indexings instead of numpy method dispatches.
     """
 
-    __slots__ = ("rng", "_exp", "_exp_pos", "_uni", "_uni_pos")
+    __slots__ = ("rng", "_exp", "_exp_pos", "_uni", "_uni_pos", "_uni_refills")
 
     def __init__(self, rng: np.random.Generator) -> None:
         self.rng = rng
@@ -92,6 +109,7 @@ class _ChunkedDraws:
         self._exp_pos = 0
         self._uni: list[float] = []
         self._uni_pos = 0
+        self._uni_refills = 0
 
     def exponential(self) -> float:
         """Next unit-rate exponential variate (scale at the call site)."""
@@ -107,9 +125,22 @@ class _ChunkedDraws:
         pos = self._uni_pos
         if pos >= len(self._uni):
             self._uni = self.rng.random(RNG_CHUNK).tolist()
+            self._uni_refills += 1
             pos = 0
         self._uni_pos = pos + 1
         return self._uni[pos]
+
+    @property
+    def uniforms_consumed(self) -> int:
+        """Uniform variates handed out so far (a free per-jump counter).
+
+        Each MAP jump consumes exactly one uniform (and each initial-phase
+        draw one more), so this counts MAP jumps without touching the hot
+        loop: only the rare refill increments a counter.
+        """
+        if self._uni_refills == 0:
+            return 0
+        return (self._uni_refills - 1) * RNG_CHUNK + self._uni_pos
 
 
 class _MapServiceState:
@@ -118,7 +149,11 @@ class _MapServiceState:
     def __init__(self, map_process: MAP, draws: _ChunkedDraws) -> None:
         self.draws = draws
         order = map_process.order
-        self.phase = int(draws.rng.choice(order, p=map_process.embedded_stationary))
+        # Initial phase by inverse CDF from one *buffered* uniform, so every
+        # draw of a run flows through the documented chunked streams (a raw
+        # ``rng.choice`` here would consume the bit stream out of band).
+        stationary_cum = np.cumsum(map_process.embedded_stationary).tolist()
+        self.phase = min(bisect_right(stationary_cum, draws.uniform()), order - 1)
         self.order = order
         self.mean_sojourns = (-1.0 / np.diag(map_process.D0)).tolist()
         # Per-phase cumulative jump distribution over the 2K outcomes
@@ -212,6 +247,7 @@ def simulate_closed_map_network(
 
     # Statistics.
     completed = 0
+    think_events = 0
     busy_front = 0.0
     busy_db = 0.0
     area_front = 0.0
@@ -251,6 +287,7 @@ def simulate_closed_map_network(
         if next_time == next_think_completion:
             thinking -= 1
             front_queue += 1
+            think_events += 1
             next_think_completion = schedule_think()
         elif next_time == next_front_completion:
             front_queue -= 1
@@ -269,6 +306,9 @@ def simulate_closed_map_network(
     # accumulated value is used as the denominator so that time-average and
     # count estimates stay mutually consistent.
     duration = measured_time
+    # Jump-chain transitions: think completions plus the MAP jumps consumed
+    # from the uniform stream (minus the two initial-phase draws).
+    events = think_events + draws.uniforms_consumed - 2
     return ClosedNetworkSimResult(
         population=population,
         think_time=think_time,
@@ -281,4 +321,5 @@ def simulate_closed_map_network(
         completed=completed,
         warmup=warmup,
         measured_time=measured_time,
+        events=events,
     )

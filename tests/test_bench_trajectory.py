@@ -20,7 +20,11 @@ _spec.loader.exec_module(bench)
 
 
 def make_document(
-    kron=0.006, solves=((100, 0.13), (500, 9.1)), quick=False, python="3.11.7"
+    kron=0.006,
+    solves=((100, 0.13), (500, 9.1)),
+    quick=False,
+    python="3.11.7",
+    sim_loop=(("R64", 3.0, 0.9),),
 ) -> dict:
     return {
         "benchmark": "closed MAP network solver + simulator",
@@ -52,6 +56,22 @@ def make_document(
                 "horizon": 2000.0, "seconds": 1.0,
                 "completed": 1000, "completions_per_second": 1000.0,
             },
+            "sim_loop": [
+                {
+                    "key": key,
+                    "replications": int(key[1:]),
+                    "horizon": 250.0,
+                    "scalar_seconds": scalar,
+                    "scalar_cell_seconds": scalar / int(key[1:]),
+                    "scalar_extrapolated": False,
+                    "scalar_events_per_second": 1e6,
+                    "batched_seconds": batched,
+                    "batched_cell_seconds": batched / int(key[1:]),
+                    "batched_events_per_second": 1e7,
+                    "speedup": scalar / batched,
+                }
+                for key, scalar, batched in sim_loop
+            ],
         },
     }
 
@@ -64,7 +84,20 @@ class TestHistoryEntry:
         assert entry["exact_solve"] == {"100": 0.13, "500": 9.1}
         assert entry["generator_build"]["kron_seconds"] == 0.006
         assert entry["environment"] == {"python": "3.11", "machine": "x86_64"}
+        assert entry["sim_loop"] == {
+            "R64": {
+                "scalar_seconds": 3.0,
+                "batched_seconds": 0.9,
+                "speedup": 3.0 / 0.9,
+            }
+        }
         assert not entry["quick"]
+
+    def test_pre_sim_loop_documents_absorb_cleanly(self):
+        document = make_document()
+        del document["results"]["sim_loop"]
+        entry = bench.history_entry(document, sha="old")
+        assert entry["sim_loop"] == {}
 
 
 class TestLoadTrajectory:
@@ -115,6 +148,29 @@ class TestRegressionGate:
         messages = bench.check_regressions(entry, baseline)
         assert len(messages) == 1
         assert "generator_build.kron_seconds" in messages[0]
+
+    def test_sim_loop_regressions_detected_per_kernel_on_overlap(self):
+        baseline = bench.history_entry(make_document(), sha="old")
+        # scalar kernel regressed on the overlapping rung, batched did not;
+        # R16 exists only in the new entry and is never gated.
+        entry = bench.history_entry(
+            make_document(sim_loop=(("R64", 4.5, 0.9), ("R16", 9.0, 9.0))), sha="new"
+        )
+        messages = bench.check_regressions(entry, baseline)
+        assert len(messages) == 1
+        assert "sim_loop[R64].scalar_seconds" in messages[0]
+        assert not any("R16" in message for message in messages)
+        slowed = bench.history_entry(make_document(sim_loop=(("R64", 3.0, 1.8),)), sha="new")
+        messages = bench.check_regressions(slowed, baseline)
+        assert len(messages) == 1
+        assert "sim_loop[R64].batched_seconds" in messages[0]
+
+    def test_sim_loop_gate_skips_pre_sim_loop_baselines(self):
+        old_document = make_document()
+        del old_document["results"]["sim_loop"]
+        baseline = bench.history_entry(old_document, sha="old")
+        entry = bench.history_entry(make_document(sim_loop=(("R64", 99.0, 99.0),)), sha="new")
+        assert bench.check_regressions(entry, baseline) == []
 
     def test_threshold_is_respected(self):
         baseline = bench.history_entry(make_document(), sha="old")

@@ -267,39 +267,54 @@ class TestCacheRobustness:
         rerun = runner.run(spec)
         assert not rerun.from_cache
 
-    def test_partially_written_legacy_json_is_logged_miss(self, tmp_path, caplog):
-        spec = analytic_spec()
-        cache = ResultCache(tmp_path)
-        cache.directory.mkdir(parents=True, exist_ok=True)
-        cache.legacy_path(spec).write_text('{"name": "legacy_analytic", "rows": [')
-        with caplog.at_level(logging.WARNING, logger="repro.experiments.cache"):
-            assert cache.load(spec) is None
-        assert "unreadable legacy cache entry" in caplog.text
-
-    def test_legacy_single_file_entry_is_served(self, tmp_path):
+    def test_legacy_single_file_entry_is_a_logged_miss(self, tmp_path, caplog):
+        # The single-file format predates the solver-code fingerprint, so it
+        # cannot prove which kernels produced its numbers: never served.
         spec = analytic_spec()
         computed = ExperimentRunner(jobs=1).run(spec)
         cache = ResultCache(tmp_path)
         cache.directory.mkdir(parents=True, exist_ok=True)
         cache.legacy_path(spec).write_text(computed.to_json())
-        loaded = cache.load(spec)
-        assert loaded is not None
-        assert loaded.from_cache
-        assert loaded.meta.get("legacy_entry") is True
-        assert rows_signature(loaded) == rows_signature(computed)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.cache"):
+            assert cache.load(spec) is None
+        assert "predates the solver-code fingerprint" in caplog.text
 
-    def test_legacy_entry_cannot_serve_artifact_scenarios(self, tmp_path, caplog):
-        # The single-file format predates artifacts: a scenario whose solvers
-        # attach them (testbed, mtrace1) must recompute, not crash later in
-        # metric/artifact accessors.
+    def test_stale_code_fingerprint_is_a_logged_miss(self, tmp_path, caplog, monkeypatch):
+        import repro.experiments.cache as cache_module
+
         spec = trace_spec()
-        computed = ExperimentRunner(jobs=1).run(spec)
-        cache = ResultCache(tmp_path)
-        cache.directory.mkdir(parents=True, exist_ok=True)
-        cache.legacy_path(spec).write_text(computed.to_json())
+        runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
+        runner.run(spec)
+        assert runner.cache.load(spec) is not None
+        monkeypatch.setattr(cache_module, "source_fingerprint", lambda: "0ff0ba11dead")
         with caplog.at_level(logging.WARNING, logger="repro.experiments.cache"):
-            assert cache.load(spec) is None
-        assert "predates the artifact schema" in caplog.text
+            assert runner.cache.load(spec) is None
+            assert runner.cache.load_partial(spec) == {}
+        assert "different solver/simulator source state" in caplog.text
+
+    def test_stale_code_fingerprint_forces_recompute(self, tmp_path, monkeypatch):
+        """The runner recomputes — and rewrites — when kernel code changed."""
+        import repro.experiments.cache as cache_module
+
+        spec = analytic_spec()
+        runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
+        first = runner.run(spec)
+        monkeypatch.setattr(cache_module, "source_fingerprint", lambda: "0ff0ba11dead")
+        rerun = ExperimentRunner(cache_dir=tmp_path, jobs=1).run(spec)
+        assert not rerun.from_cache
+        assert rerun.meta["cells_computed"] == len(first.rows)
+        # the rewritten entry carries the new fingerprint and serves again
+        served = ExperimentRunner(cache_dir=tmp_path, jobs=1).run(spec)
+        assert served.from_cache
+
+    def test_manifest_records_the_current_fingerprint(self, tmp_path):
+        from repro.experiments.cache import source_fingerprint
+
+        spec = analytic_spec()
+        runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
+        runner.run(spec)
+        manifest = json.loads(runner.cache.manifest_path(spec).read_text())
+        assert manifest["code_fingerprint"] == source_fingerprint()
 
     def test_wrong_spec_hash_in_manifest_is_miss(self, tmp_path, caplog):
         spec = trace_spec()

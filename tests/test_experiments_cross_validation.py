@@ -33,7 +33,7 @@ THINK_TIME = 0.5
 POPULATION = 3
 HORIZON = 1200.0
 WARMUP = 150.0
-REPLICATIONS = 3
+REPLICATIONS = 8
 
 MAP_PAIRS = {
     "poisson": (map2_exponential(0.1), map2_exponential(0.15)),
@@ -47,6 +47,7 @@ MAP_PAIRS = {
 
 
 def averaged_simulation(front, db, base_seed: int):
+    """Replication mean and standard error per headline metric."""
     runs = [
         simulate_closed_map_network(
             front,
@@ -59,28 +60,36 @@ def averaged_simulation(front, db, base_seed: int):
         )
         for index in range(REPLICATIONS)
     ]
-    return {
-        "throughput": float(np.mean([run.throughput for run in runs])),
-        "front_utilization": float(np.mean([run.front_utilization for run in runs])),
-        "db_utilization": float(np.mean([run.db_utilization for run in runs])),
-        "db_queue_length": float(np.mean([run.db_queue_length for run in runs])),
-    }
+    summary = {}
+    for metric in ("throughput", "front_utilization", "db_utilization", "db_queue_length"):
+        values = np.array([getattr(run, metric) for run in runs])
+        summary[metric] = (
+            float(values.mean()),
+            float(values.std(ddof=1) / np.sqrt(len(values))),
+        )
+    return summary
 
 
 @pytest.mark.parametrize("pair_name", sorted(MAP_PAIRS))
 def test_simulation_matches_ctmc(pair_name):
+    """Replication means sit within CLT bounds of the exact solution.
+
+    Tolerances are ``5 x`` the replication standard error plus a small
+    absolute floor — a correct kernel fails with probability ~1e-6 per
+    metric, while fixed percentage tolerances were a seed lottery for the
+    strongly autocorrelated pairs (their mixing times make a handful of
+    thousand-second replications genuinely noisy).
+    """
     front, db = MAP_PAIRS[pair_name]
     exact = solve_map_closed_network(front, db, THINK_TIME, POPULATION)
     simulated = averaged_simulation(front, db, base_seed=sum(pair_name.encode()))
 
-    assert simulated["throughput"] == pytest.approx(exact.throughput, rel=0.05), pair_name
-    assert simulated["front_utilization"] == pytest.approx(
-        exact.front_utilization, abs=0.03
-    ), pair_name
-    assert simulated["db_utilization"] == pytest.approx(exact.db_utilization, abs=0.03), pair_name
-    assert simulated["db_queue_length"] == pytest.approx(
-        exact.db_queue_length, rel=0.25, abs=0.1
-    ), pair_name
+    for metric, (mean, stderr) in simulated.items():
+        tolerance = 5.0 * stderr + 2e-3
+        assert mean == pytest.approx(getattr(exact, metric), abs=tolerance), (
+            f"{pair_name}.{metric}: simulated {mean:.5f} +- {stderr:.5f} vs "
+            f"exact {getattr(exact, metric):.5f}"
+        )
 
 
 def test_flow_balance_of_the_exact_solver():

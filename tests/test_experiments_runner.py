@@ -55,6 +55,28 @@ def simulation_spec(name="runner_sim", replications=2) -> ScenarioSpec:
     )
 
 
+def batched_spec(name="runner_batched", replications=3, backend="batched") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description="batched-simulation dispatch tests",
+        workload=SyntheticWorkload(
+            front=MapSpec(family="exponential", mean=0.05),
+            db_mean=0.04,
+            db_scv=(4.0,),
+            db_decay=(0.9,),
+            think_time=0.5,
+            populations=(2,),
+        ),
+        solvers=(
+            SolverSpec(
+                kind="simulation",
+                options={"horizon": 120.0, "warmup": 20.0, "sim_backend": backend},
+            ),
+        ),
+        replication=ReplicationPolicy(replications=replications, base_seed=5),
+    )
+
+
 def rows_signature(result: ExperimentResult):
     return [(row.solver, tuple(sorted(row.params.items())), row.seed, row.metrics)
             for row in result.rows]
@@ -150,6 +172,53 @@ class TestDeterminism:
         small_seed = small.cells()[0].seed
         large_seeds = {cell.replication: cell.seed for cell in large.cells()}
         assert large_seeds[0] == small_seed
+
+
+class TestBatchedSimulationDispatch:
+    def test_cells_record_the_batched_backend(self):
+        result = run_scenario(batched_spec(), jobs=1)
+        assert all(row.meta["sim_backend"] == "batched" for row in result.rows)
+        assert all(row.meta["sim_batch_size"] == 3 for row in result.rows)
+
+    def test_parallel_matches_serial(self):
+        serial = run_scenario(batched_spec(), jobs=1)
+        parallel = run_scenario(batched_spec(), jobs=2)
+        assert rows_signature(serial) == rows_signature(parallel)
+
+    def test_group_matches_single_cell_execution(self):
+        """A cell computes the same values alone and inside its group."""
+        from repro.experiments.solvers import execute_cell
+
+        spec = batched_spec()
+        grouped = run_scenario(spec, jobs=1)
+        for cell, row in zip(spec.cells(), grouped.rows):
+            alone = execute_cell(spec, cell)
+            assert alone.metrics == row.metrics
+            assert alone.meta["sim_backend"] == "batched"
+
+    def test_backends_produce_different_trajectories(self):
+        batched = run_scenario(batched_spec(), jobs=1)
+        event = run_scenario(batched_spec(backend="event"), jobs=1)
+        assert all(row.meta["sim_backend"] == "event" for row in event.rows)
+        assert [row.metrics for row in batched.rows] != [row.metrics for row in event.rows]
+
+    def test_single_replication_falls_back_to_the_event_loop(self):
+        result = run_scenario(batched_spec(replications=1), jobs=1)
+        assert result.rows[0].meta["sim_backend"] == "event"
+
+    def test_resume_rebatches_bit_identically(self, tmp_path):
+        """The remainder of a killed run re-batches to the original values."""
+        runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
+        spec = batched_spec()
+        cold = runner.run(spec)
+        manifest_path = runner.cache.manifest_path(spec)
+        manifest = json.loads(manifest_path.read_text())
+        manifest["status"] = "partial"
+        del manifest["rows"][1]
+        manifest_path.write_text(json.dumps(manifest))
+        resumed = ExperimentRunner(cache_dir=tmp_path, jobs=1).run(spec)
+        assert resumed.meta["cells_computed"] == 1
+        assert resumed.rows == cold.rows
 
 
 class TestPerCellTiming:

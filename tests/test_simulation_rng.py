@@ -53,6 +53,22 @@ class TestChunkedDraws:
         draws2 = _ChunkedDraws(np.random.default_rng(5))
         assert first_exp == draws2.exponential()
 
+    def test_uniform_consumption_counter(self):
+        draws = _ChunkedDraws(np.random.default_rng(6))
+        assert draws.uniforms_consumed == 0
+        for expected in range(1, RNG_CHUNK + 3):
+            draws.uniform()
+            assert draws.uniforms_consumed == expected
+
+    def test_initial_phase_draw_is_buffered(self):
+        """The initial service phase consumes a chunked uniform, not a raw
+        generator call — every draw of a run flows through the streams."""
+        from repro.simulation.closed_network import _MapServiceState
+
+        draws = _ChunkedDraws(np.random.default_rng(8))
+        _MapServiceState(DB, draws)
+        assert draws.uniforms_consumed == 1
+
 
 class TestSeedPolicy:
     def test_same_seed_bit_identical(self):
@@ -69,15 +85,21 @@ class TestSeedPolicy:
         test breaks, either the seed policy changed deliberately — update the
         pinned values and the module docstring — or a refactor accidentally
         perturbed the trajectory.
+
+        Re-pinned once when the initial service phases moved from a raw
+        ``rng.choice`` onto the chunked uniform stream (a deliberate,
+        documented trajectory break: every draw now flows through the
+        buffered streams).
         """
         result = run(12345)
-        assert result.completed == 5677
+        assert result.completed == 5769
+        assert result.events == 19472
         assert result.measured_time == pytest.approx(180.0, abs=1e-9)
-        assert result.throughput == pytest.approx(31.538888888888888, rel=1e-12)
-        assert result.front_utilization == pytest.approx(0.6298853112923669, rel=1e-12)
-        assert result.db_utilization == pytest.approx(0.4704055832827695, rel=1e-12)
-        assert result.front_queue_length == pytest.approx(1.6127829907201732, rel=1e-12)
-        assert result.db_queue_length == pytest.approx(2.57422020868785, rel=1e-12)
+        assert result.throughput == pytest.approx(32.05, rel=1e-12)
+        assert result.front_utilization == pytest.approx(0.6350184165825229, rel=1e-12)
+        assert result.db_utilization == pytest.approx(0.43873763231901675, rel=1e-12)
+        assert result.front_queue_length == pytest.approx(1.627657483965498, rel=1e-12)
+        assert result.db_queue_length == pytest.approx(2.269401730939202, rel=1e-12)
 
     def test_chunk_size_unchanged(self):
         """RNG_CHUNK is part of the seed policy; changing it breaks seeds."""
