@@ -18,8 +18,11 @@ runner:
   atomic incremental writes and resume-from-partial,
 * :mod:`~repro.experiments.runner` — multiprocessing fan-out that streams
   completed cells into the store as they finish,
+* :mod:`~repro.experiments.packs` — scenario *packs*: JSON spec files
+  (``scenarios/*.json``) validated and run directly from the CLI,
 * :mod:`~repro.experiments.cli` — ``python -m repro.experiments run fig4``
-  and the ``cache ls/rm/gc`` maintenance surface.
+  (or ``run scenarios/flash_crowd.json``) and the ``cache ls/rm/gc``
+  maintenance surface.
 """
 
 from repro.experiments.cache import ResultCache, default_cache_dir
@@ -40,6 +43,12 @@ from repro.experiments.results import (
     ExperimentResult,
     register_artifact_codec,
 )
+from repro.experiments.packs import (
+    PACK_FORMAT,
+    PackValidationError,
+    load_pack,
+    validate_pack,
+)
 from repro.experiments.runner import ExperimentRunner, run_scenario
 from repro.experiments.spec import (
     Cell,
@@ -50,6 +59,8 @@ from repro.experiments.spec import (
     SolverSpec,
     SyntheticWorkload,
     TestbedWorkload,
+    TimeVaryingSegment,
+    TimeVaryingWorkload,
     TraceWorkload,
 )
 
@@ -63,15 +74,21 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "MapSpec",
+    "PACK_FORMAT",
     "PAPER_SCENARIOS",
+    "PackValidationError",
     "ReplicationPolicy",
     "ResultCache",
     "ScenarioSpec",
     "SolverSpec",
     "SyntheticWorkload",
     "TestbedWorkload",
+    "TimeVaryingSegment",
+    "TimeVaryingWorkload",
     "TraceWorkload",
     "default_cache_dir",
+    "load_pack",
+    "validate_pack",
     "get_scenario",
     "list_scenarios",
     "monitoring_scenario",

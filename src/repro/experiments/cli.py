@@ -4,9 +4,11 @@
 
     python -m repro.experiments list
     python -m repro.experiments show fig4
+    python -m repro.experiments validate scenarios/flash_crowd.json [...]
     python -m repro.experiments run fig4 [--jobs N] [--force] [--no-cache]
                                          [--cache-dir DIR] [--json]
                                          [--sim-backend {event,batched}]
+    python -m repro.experiments run scenarios/flash_crowd.json [...]
     python -m repro.experiments sweep fig9 --populations 50,100,200
                                          [--think-times 0.5,1.0]
                                          [--solvers ctmc,mva] [--tier TIER]
@@ -18,7 +20,12 @@
     python -m repro.experiments cache rm <scenario> [--cache-dir DIR]
     python -m repro.experiments cache gc [--max-age-days D] [--cache-dir DIR]
 
-``run`` executes (or loads from the cache) a registered scenario and prints
+``show``, ``run`` and ``export`` accept either a registered scenario name or
+a path to a *scenario pack* — a JSON spec file (anything containing a path
+separator or ending in ``.json`` is treated as a path; see
+:mod:`repro.experiments.packs`).  ``validate`` schema-checks pack files
+without running them.  ``run`` executes (or loads from the cache) a
+registered scenario and prints
 one table per solver, with the per-cell wall-clock time and peak worker RSS
 in the last columns; the summary line reports how many cells were computed
 vs served from the cache, how many artifact bytes were written, and the
@@ -52,6 +59,11 @@ import sys
 from dataclasses import replace
 
 from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.packs import (
+    PackValidationError,
+    load_pack,
+    looks_like_pack_path,
+)
 from repro.experiments.registry import (
     get_scenario,
     list_scenarios,
@@ -160,10 +172,17 @@ def _build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="list registered scenarios")
 
     show = commands.add_parser("show", help="print a scenario spec as JSON")
-    show.add_argument("scenario", help="registered scenario name")
+    show.add_argument("scenario", help="registered scenario name or path to a pack .json file")
+
+    validate = commands.add_parser(
+        "validate", help="schema-validate scenario-pack JSON files"
+    )
+    validate.add_argument(
+        "packs", nargs="+", metavar="PACK", help="path(s) to scenario-pack .json files"
+    )
 
     run = commands.add_parser("run", help="run (or load from cache) a scenario")
-    run.add_argument("scenario", help="registered scenario name")
+    run.add_argument("scenario", help="registered scenario name or path to a pack .json file")
     run.add_argument(
         "--sim-backend",
         choices=SIM_BACKENDS,
@@ -216,7 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
     export = commands.add_parser(
         "export", help="export a cached run to CSV without re-solving"
     )
-    export.add_argument("scenario", help="registered scenario name")
+    export.add_argument("scenario", help="registered scenario name or path to a pack .json file")
     export.add_argument(
         "--format", choices=("csv",), default="csv", help="output format (csv)"
     )
@@ -641,17 +660,42 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    failures = 0
+    for path in args.packs:
+        try:
+            spec = load_pack(path)
+        except PackValidationError as error:
+            print(f"FAIL {error}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"ok   {path}: scenario {spec.name!r} [{spec.hash()}], {len(spec.cells())} cells")
+    return 1 if failures else 0
+
+
+def _resolve_scenario(name: str):
+    """A registered scenario by name, or a pack spec by file path."""
+    if looks_like_pack_path(name):
+        return load_pack(name)
+    return get_scenario(name)
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     try:
-        spec = get_scenario(args.scenario)
+        spec = _resolve_scenario(args.scenario)
     except KeyError as error:
         # Unknown scenario name: show the registry instead of a traceback.
         print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except PackValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     if args.command == "show":
         return _cmd_show(spec)

@@ -1,0 +1,141 @@
+"""Scenario packs: shareable JSON experiment files for the CLI.
+
+A *pack* is a :class:`~repro.experiments.spec.ScenarioSpec` serialised to a
+JSON file plus one ``"format"`` marker key, so time-varying what-if studies
+(flash crowds, diurnal curves, regime-switching burstiness, server
+slowdowns) can be written, versioned and exchanged without touching the
+Python registry::
+
+    python -m repro.experiments validate scenarios/flash_crowd.json
+    python -m repro.experiments run scenarios/flash_crowd.json
+
+Because a pack *is* a spec, it inherits the engine's whole machinery for
+free — most importantly cache addressability: the loaded spec's canonical
+JSON defines its content hash, so re-running an unchanged pack is served
+entirely from the on-disk cache ("0 computed"), and editing any field
+yields a new hash and a fresh run.  Validation is hand-rolled (no external
+schema dependency) and reports the offending JSON path with each error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.spec import SOLVER_KINDS, ScenarioSpec, _WORKLOAD_KINDS
+
+__all__ = ["PACK_FORMAT", "PackValidationError", "load_pack", "validate_pack"]
+
+#: Format marker every pack file must carry; versioned so future layout
+#: changes can be detected instead of mis-parsed.
+PACK_FORMAT = "repro-scenario-pack/1"
+
+
+class PackValidationError(ValueError):
+    """A scenario-pack file does not describe a valid scenario."""
+
+
+def _fail(source: str, message: str) -> None:
+    raise PackValidationError(f"{source}: {message}")
+
+
+def validate_pack(payload, source: str = "<pack>") -> None:
+    """Validate the JSON structure of a pack; raise with a readable path.
+
+    Checks the pack envelope (format marker, required keys, workload and
+    solver kinds, field types) before the deep dataclass validation of
+    :meth:`ScenarioSpec.from_dict` runs, so a malformed file fails with
+    "``solvers[1].kind``: unknown solver kind" instead of a bare
+    ``KeyError`` from the loader internals.
+    """
+    if not isinstance(payload, dict):
+        _fail(source, f"pack must be a JSON object, got {type(payload).__name__}")
+    fmt = payload.get("format")
+    if fmt != PACK_FORMAT:
+        _fail(
+            source,
+            f"format: expected {PACK_FORMAT!r}, got {fmt!r} — not a scenario pack "
+            "or written for a different pack version",
+        )
+    for key in ("name", "workload", "solvers"):
+        if key not in payload:
+            _fail(source, f"missing required key {key!r}")
+    if not isinstance(payload["name"], str) or not payload["name"]:
+        _fail(source, "name: must be a non-empty string")
+
+    workload = payload["workload"]
+    if not isinstance(workload, dict):
+        _fail(source, "workload: must be a JSON object")
+    kind = workload.get("kind")
+    if kind not in _WORKLOAD_KINDS:
+        _fail(
+            source,
+            f"workload.kind: unknown kind {kind!r}; expected one of "
+            f"{tuple(_WORKLOAD_KINDS)}",
+        )
+    if kind == "timevarying":
+        segments = workload.get("segments")
+        if not isinstance(segments, list) or not segments:
+            _fail(source, "workload.segments: must be a non-empty array")
+        for index, segment in enumerate(segments):
+            if not isinstance(segment, dict):
+                _fail(source, f"workload.segments[{index}]: must be a JSON object")
+            if "duration" not in segment:
+                _fail(source, f"workload.segments[{index}]: missing required key 'duration'")
+    if kind in ("synthetic", "timevarying"):
+        front = workload.get("front")
+        if not isinstance(front, dict) or "family" not in front:
+            _fail(
+                source,
+                "workload.front: must be a MAP spec object with a 'family' key",
+            )
+
+    solvers = payload["solvers"]
+    if not isinstance(solvers, list) or not solvers:
+        _fail(source, "solvers: must be a non-empty array")
+    for index, solver in enumerate(solvers):
+        if not isinstance(solver, dict):
+            _fail(source, f"solvers[{index}]: must be a JSON object")
+        solver_kind = solver.get("kind")
+        if solver_kind not in SOLVER_KINDS:
+            _fail(
+                source,
+                f"solvers[{index}].kind: unknown solver kind {solver_kind!r}; "
+                f"expected one of {SOLVER_KINDS}",
+            )
+
+    replication = payload.get("replication", {})
+    if not isinstance(replication, dict):
+        _fail(source, "replication: must be a JSON object")
+
+    # Deep validation: the dataclass layer checks every remaining constraint
+    # (axis tuples, positive rates, label uniqueness, segment overrides...).
+    try:
+        ScenarioSpec.from_dict({k: v for k, v in payload.items() if k != "format"})
+    except (KeyError, TypeError, ValueError) as error:
+        _fail(source, f"invalid scenario: {error}")
+
+
+def load_pack(path: str | Path) -> ScenarioSpec:
+    """Load, validate and deserialise one scenario-pack JSON file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise PackValidationError(f"{path}: unreadable: {error}") from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PackValidationError(f"{path}: not valid JSON: {error}") from error
+    validate_pack(payload, source=str(path))
+    return ScenarioSpec.from_dict({k: v for k, v in payload.items() if k != "format"})
+
+
+def looks_like_pack_path(text: str) -> bool:
+    """Whether a CLI scenario argument denotes a pack file, not a registry name.
+
+    Registered scenario names never contain path separators or the ``.json``
+    suffix, so anything that does is routed to the pack loader (and a missing
+    file is then reported as such, never silently retried as a name).
+    """
+    return "/" in text or "\\" in text or text.endswith(".json")

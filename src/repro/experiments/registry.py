@@ -20,7 +20,13 @@ name                what it reproduces / explores
 ``grid_burstiness`` synthetic burstiness x population x variability grid
 ``grid_variability``synthetic service-variability sweep (renewal case)
 ``smoke``           tiny analytic-only scenario (fast engine self-check)
+``smoke_tv``        tiny time-varying scenario (piecewise solvers + both
+                    simulator kernels on a three-segment regime switch)
 ==================  ======================================================
+
+Time-varying what-if studies beyond ``smoke_tv`` ship as scenario *packs*
+(JSON files under ``scenarios/``) rather than registry entries — see
+:mod:`repro.experiments.packs`.
 
 The registry stores zero-argument factories, so scenario objects are built
 fresh on each request and callers can never mutate the registered defaults.
@@ -41,6 +47,8 @@ from repro.experiments.spec import (
     SolverSpec,
     SyntheticWorkload,
     TestbedWorkload,
+    TimeVaryingSegment,
+    TimeVaryingWorkload,
     TraceWorkload,
 )
 
@@ -411,6 +419,37 @@ def _smoke() -> ScenarioSpec:
     )
 
 
+def _smoke_tv() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="smoke_tv",
+        description="Tiny time-varying self-check: a three-segment regime switch "
+        "solved piecewise (stationary and uniformized-transient) and simulated "
+        "with the batched kernel",
+        workload=TimeVaryingWorkload(
+            front=MapSpec(family="exponential", mean=0.05),
+            db_mean=0.04,
+            db_scv=4.0,
+            db_decay=0.5,
+            think_time=0.5,
+            population=4,
+            segments=(
+                TimeVaryingSegment(duration=40.0, label="base"),
+                TimeVaryingSegment(duration=20.0, label="surge", population=8, db_decay=0.9),
+                TimeVaryingSegment(duration=40.0, label="cooldown", population=2),
+            ),
+        ),
+        solvers=(
+            SolverSpec(kind="piecewise_ctmc"),
+            SolverSpec(kind="transient_ctmc"),
+            SolverSpec(
+                kind="simulation",
+                options={"warmup": 5.0, "sim_backend": "batched"},
+            ),
+        ),
+        replication=ReplicationPolicy(replications=4, base_seed=11, policy="per_cell"),
+    )
+
+
 register_scenario("fig4", _fig4)
 for _name in ("fig5", "fig6", "fig7", "fig8"):
     register_scenario(_name, _timeseries_scenario(_name, _name[3:]))
@@ -426,3 +465,4 @@ register_scenario("granularity_coarse", _granularity_coarse)
 register_scenario("grid_burstiness", _grid_burstiness)
 register_scenario("grid_variability", _grid_variability)
 register_scenario("smoke", _smoke)
+register_scenario("smoke_tv", _smoke_tv)

@@ -53,6 +53,7 @@ from repro.experiments.spec import (
     ScenarioSpec,
     SyntheticWorkload,
     TestbedWorkload,
+    TimeVaryingWorkload,
     TraceWorkload,
 )
 from repro.simulation.batched import SIM_BACKENDS
@@ -87,6 +88,8 @@ def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
     started = time.perf_counter()
     if isinstance(workload, SyntheticWorkload):
         metrics, artifact, meta = _execute_synthetic(spec, cell)
+    elif isinstance(workload, TimeVaryingWorkload):
+        metrics, artifact, meta = _execute_timevarying(spec, cell)
     elif isinstance(workload, TestbedWorkload):
         metrics, artifact, meta = _execute_testbed(workload, cell)
     elif isinstance(workload, TraceWorkload):
@@ -185,7 +188,7 @@ def simulation_batch_groups(
     does not matter for the results (the kernel is batch-composition
     independent), only for how well one kernel call amortises.
     """
-    if not isinstance(spec.workload, SyntheticWorkload):
+    if not isinstance(spec.workload, (SyntheticWorkload, TimeVaryingWorkload)):
         return [], list(cells)
     groups: dict[tuple, list[Cell]] = {}
     rest: list[Cell] = []
@@ -241,36 +244,46 @@ def execute_simulation_group(
     ``sim_batch_size``).
     """
     from repro.simulation.batched import simulate_closed_map_network_batch
+    from repro.simulation.timevarying import simulate_timevarying_closed_map_network_batch
 
     if not cells:
         return []
     workload = spec.workload
-    if not isinstance(workload, SyntheticWorkload):
-        raise ValueError("batched simulation requires a synthetic workload")
+    if not isinstance(workload, (SyntheticWorkload, TimeVaryingWorkload)):
+        raise ValueError("batched simulation requires a synthetic or timevarying workload")
     first = cells[0]
     if any(
         cell.params != first.params or cell.solver_label != first.solver_label
         for cell in cells
     ):
         raise ValueError("a simulation batch must share one grid point and solver")
-    front, db, think, population = _synthetic_network(workload, first)
-    horizon = float(first.options.get("horizon", DEFAULT_SIM_HORIZON))
-    warmup = float(first.options.get("warmup", DEFAULT_SIM_WARMUP))
     started = time.perf_counter()
-    results = simulate_closed_map_network_batch(
-        front,
-        db,
-        think,
-        population,
-        horizon=horizon,
-        warmup=warmup,
-        seeds=[cell.seed for cell in cells],
-    )
+    if isinstance(workload, TimeVaryingWorkload):
+        results = simulate_timevarying_closed_map_network_batch(
+            workload.resolved_segments(),
+            warmup=float(first.options.get("warmup", 0.0)),
+            seeds=[cell.seed for cell in cells],
+        )
+        artifacts = [_timevarying_sim_artifact(result) for result in results]
+    else:
+        front, db, think, population = _synthetic_network(workload, first)
+        horizon = float(first.options.get("horizon", DEFAULT_SIM_HORIZON))
+        warmup = float(first.options.get("warmup", DEFAULT_SIM_WARMUP))
+        results = simulate_closed_map_network_batch(
+            front,
+            db,
+            think,
+            population,
+            horizon=horizon,
+            warmup=warmup,
+            seeds=[cell.seed for cell in cells],
+        )
+        artifacts = [None] * len(results)
     elapsed = time.perf_counter() - started
     share = elapsed / len(cells)
     peak_rss = round(_peak_rss_mb(), 1)
     rows = []
-    for cell, result in zip(cells, results):
+    for cell, result, artifact in zip(cells, results, artifacts):
         rows.append((
             cell.key,
             CellResult(
@@ -281,7 +294,7 @@ def execute_simulation_group(
                 seed=cell.seed,
                 metrics={k: float(v) for k, v in _simulation_metrics(result).items()},
                 elapsed_seconds=share,
-                artifact=None,
+                artifact=artifact,
                 meta={
                     "sim_backend": "batched",
                     "sim_batch_size": len(cells),
@@ -377,6 +390,116 @@ def _execute_synthetic(spec: ScenarioSpec, cell: Cell):
         return _simulation_metrics(result), None, {"sim_backend": backend}
     raise ValueError(
         f"solver {cell.solver_kind!r} is not applicable to synthetic workloads"
+    )
+
+
+# ----------------------------------------------------------------------
+# Time-varying closed MAP network
+# ----------------------------------------------------------------------
+def _timevarying_sim_artifact(result) -> dict:
+    """Per-segment simulation estimates as a JSON artifact."""
+    return {
+        "segments": [
+            {
+                "label": segment.label,
+                "start": segment.start,
+                "end": segment.end,
+                "population": segment.population,
+                "throughput": segment.throughput,
+                "front_utilization": segment.front_utilization,
+                "db_utilization": segment.db_utilization,
+                "front_queue_length": segment.front_queue_length,
+                "db_queue_length": segment.db_queue_length,
+                "completed": segment.completed,
+                "measured_time": segment.measured_time,
+            }
+            for segment in result.segments
+        ]
+    }
+
+
+def _execute_timevarying(spec: ScenarioSpec, cell: Cell):
+    from repro.queueing.transient import (
+        solve_piecewise_stationary,
+        solve_piecewise_transient,
+    )
+    from repro.simulation.timevarying import (
+        simulate_timevarying_closed_map_network,
+        simulate_timevarying_closed_map_network_batch,
+    )
+
+    workload = spec.workload
+    segments = workload.resolved_segments()
+    horizon = workload.horizon
+
+    if cell.solver_kind == "piecewise_ctmc":
+        tier = cell.options.get("tier")
+        results = solve_piecewise_stationary(
+            segments, tier=tier if tier is None else str(tier)
+        )
+        metrics = {
+            key: sum(
+                (segment.duration / horizon) * getattr(result, key)
+                for segment, result in zip(segments, results)
+            )
+            for key in (
+                "throughput",
+                "front_utilization",
+                "db_utilization",
+                "front_queue_length",
+                "db_queue_length",
+            )
+        }
+        clock = 0.0
+        rows = []
+        for segment, result in zip(segments, results):
+            rows.append({
+                "label": segment.label,
+                "start": clock,
+                "end": clock + segment.duration,
+                "population": segment.population,
+                **{k: float(v) for k, v in result.summary().items()},
+                "solver_tier": result.solver_tier,
+            })
+            clock += segment.duration
+        tiers = ",".join(sorted({result.solver_tier for result in results}))
+        return metrics, {"segments": rows}, {"solver_tier": tiers}
+
+    if cell.solver_kind == "transient_ctmc":
+        tol = float(cell.options.get("tol", 1e-10))
+        solution = solve_piecewise_transient(segments, tol=tol)
+        rows = []
+        for segment_result in solution.segments:
+            rows.append({
+                "label": segment_result.label,
+                "start": segment_result.start,
+                "end": segment_result.end,
+                "average": {k: float(v) for k, v in segment_result.average.summary().items()},
+                "final": {k: float(v) for k, v in segment_result.final.summary().items()},
+            })
+        return solution.overall(), {"segments": rows}, {}
+
+    if cell.solver_kind == "simulation":
+        warmup = float(cell.options.get("warmup", 0.0))
+        backend = simulation_backend(spec, cell)
+        if backend == "batched":
+            # A batch of one: same per-replication stream as when the runner
+            # groups this cell with its sibling replications.
+            result = simulate_timevarying_closed_map_network_batch(
+                segments, warmup=warmup, seeds=[cell.seed]
+            )[0]
+        else:
+            result = simulate_timevarying_closed_map_network(
+                segments, warmup=warmup, rng=np.random.default_rng(cell.seed)
+            )
+        return (
+            _simulation_metrics(result),
+            _timevarying_sim_artifact(result),
+            {"sim_backend": backend},
+        )
+
+    raise ValueError(
+        f"solver {cell.solver_kind!r} is not applicable to time-varying workloads"
     )
 
 

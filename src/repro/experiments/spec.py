@@ -36,6 +36,8 @@ __all__ = [
     "TestbedWorkload",
     "EstimationSpec",
     "TraceWorkload",
+    "TimeVaryingSegment",
+    "TimeVaryingWorkload",
     "SolverSpec",
     "ReplicationPolicy",
     "Cell",
@@ -53,11 +55,15 @@ SOLVER_KINDS = (
     "fitted_map",
     "fitted_mva",
     "mtrace1",
+    "piecewise_ctmc",
+    "transient_ctmc",
 )
 SEED_POLICIES = ("per_cell", "shared")
 #: Solver kinds whose output is a deterministic function of the spec; they
 #: run exactly once per grid point regardless of the replication count.
-DETERMINISTIC_SOLVERS = frozenset({"ctmc", "mva", "bounds", "fitted_map", "fitted_mva"})
+DETERMINISTIC_SOLVERS = frozenset(
+    {"ctmc", "mva", "bounds", "fitted_map", "fitted_mva", "piecewise_ctmc", "transient_ctmc"}
+)
 
 
 @dataclass(frozen=True)
@@ -229,10 +235,117 @@ class TraceWorkload:
         return {"trace": tuple(self.traces), "utilization": tuple(self.utilizations)}
 
 
+@dataclass(frozen=True)
+class TimeVaryingSegment:
+    """One stationary segment of a time-varying workload timeline.
+
+    Every field except ``duration`` is optional and, when omitted, inherits
+    the workload-level baseline — a segment only states what *changes*: a
+    flash crowd overrides ``population``, a server slowdown overrides
+    ``db_mean``, a burstiness regime switch overrides ``db_decay`` /
+    ``db_scv``, and so on.
+    """
+
+    duration: float
+    label: str = ""
+    population: int | None = None
+    think_time: float | None = None
+    db_mean: float | None = None
+    db_scv: float | None = None
+    db_decay: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("segment duration must be positive")
+        for name in ("think_time", "db_mean"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"segment {name} must be positive when given")
+        if self.population is not None and self.population < 1:
+            raise ValueError("segment population must be >= 1 when given")
+
+
+@dataclass(frozen=True)
+class TimeVaryingWorkload:
+    """A time-varying closed MAP network: a baseline plus a segment timeline.
+
+    The baseline fields describe the same network as
+    :class:`SyntheticWorkload` at a single grid point (fixed population,
+    fixed database ``(mean, scv, decay)``); ``segments`` is the timeline,
+    each segment lasting ``duration`` simulated seconds with any baseline
+    field overridden.  The workload has no sweep axes — a scenario is one
+    timeline — so the grid has a single point and replications/solvers
+    provide the comparison structure.
+
+    All segments share the front :class:`MapSpec` and the database MAP(2)
+    family, so service phases carry over regime switches (equal MAP orders
+    by construction).
+    """
+
+    front: MapSpec
+    db_mean: float
+    think_time: float
+    population: int
+    segments: tuple[TimeVaryingSegment, ...]
+    db_scv: float = 1.0
+    db_decay: float = 0.0
+
+    kind = "timevarying"
+
+    def __post_init__(self) -> None:
+        if self.db_mean <= 0:
+            raise ValueError("db_mean must be positive")
+        if self.think_time <= 0:
+            raise ValueError("think_time must be positive")
+        if self.population < 1:
+            raise ValueError("population must be >= 1")
+        if not isinstance(self.segments, tuple) or not self.segments:
+            raise ValueError("segments must be a non-empty tuple")
+
+    def axes(self) -> dict[str, tuple]:
+        return {}
+
+    @property
+    def horizon(self) -> float:
+        """Total timeline duration in simulated seconds."""
+        return float(sum(segment.duration for segment in self.segments))
+
+    def resolved_segments(self):
+        """The concrete :class:`~repro.queueing.transient.NetworkSegment`
+        timeline, with MAPs built and baseline fields filled in."""
+        from repro.maps.map2 import map2_from_moments_and_decay
+        from repro.queueing.transient import NetworkSegment
+
+        front = self.front.build()
+        resolved = []
+        for index, segment in enumerate(self.segments):
+            db = map2_from_moments_and_decay(
+                self.db_mean if segment.db_mean is None else segment.db_mean,
+                self.db_scv if segment.db_scv is None else segment.db_scv,
+                self.db_decay if segment.db_decay is None else segment.db_decay,
+            )
+            resolved.append(
+                NetworkSegment(
+                    duration=segment.duration,
+                    front=front,
+                    db=db,
+                    think_time=(
+                        self.think_time if segment.think_time is None else segment.think_time
+                    ),
+                    population=(
+                        self.population if segment.population is None else segment.population
+                    ),
+                    label=segment.label or f"segment{index}",
+                )
+            )
+        return resolved
+
+
 _WORKLOAD_KINDS = {
     "synthetic": SyntheticWorkload,
     "testbed": TestbedWorkload,
     "trace": TraceWorkload,
+    "timevarying": TimeVaryingWorkload,
 }
 
 
@@ -324,7 +437,7 @@ class ScenarioSpec:
 
     name: str
     description: str
-    workload: SyntheticWorkload | TestbedWorkload | TraceWorkload
+    workload: SyntheticWorkload | TestbedWorkload | TraceWorkload | TimeVaryingWorkload
     solvers: tuple[SolverSpec, ...]
     replication: ReplicationPolicy = field(default_factory=ReplicationPolicy)
 
@@ -357,8 +470,13 @@ class ScenarioSpec:
             raise ValueError(f"unknown workload kind {kind!r}")
         workload_cls = _WORKLOAD_KINDS[kind]
         workload_payload = _tuplify(workload_payload)
-        if kind == "synthetic":
+        if kind in ("synthetic", "timevarying"):
             workload_payload["front"] = MapSpec(**dict(payload["workload"]["front"]))
+        if kind == "timevarying":
+            workload_payload["segments"] = tuple(
+                TimeVaryingSegment(**dict(segment))
+                for segment in payload["workload"]["segments"]
+            )
         if kind == "testbed" and workload_payload.get("estimation") is not None:
             workload_payload["estimation"] = EstimationSpec(**dict(payload["workload"]["estimation"]))
         workload = workload_cls(**workload_payload)

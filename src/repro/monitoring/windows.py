@@ -5,6 +5,24 @@ requests in each 5-second Diagnostics window, the busy fraction of each
 1-second `sar` window, the average queue length over a window, and so on.
 The two accumulators below convert a stream of point events / piecewise
 constant signals into such fixed-window series.
+
+Window semantics
+----------------
+Both accumulators share one half-open convention: window ``k`` is the
+interval ``[k*W, (k+1)*W)``.  Concretely:
+
+* a point event at time ``t`` lands in window ``floor(t / W)`` — an event
+  exactly on a boundary opens the *next* window (``record(5.0)`` with
+  ``W = 1`` counts in window 5),
+* a piecewise-constant interval ``[start, end)`` excludes its right
+  endpoint — an interval ending exactly on a boundary does *not* open the
+  next window (``record(0.0, 5.0, v)`` with ``W = 1`` fills windows 0–4 and
+  nothing else), so ``series()`` has exactly ``ceil(t_end / W)`` entries,
+* ``series(horizon=H)`` pads the series with zero windows up to
+  ``ceil(H / W)`` entries but never discards recorded data: windows holding
+  recorded events or mass beyond the horizon are always returned.  (The
+  historical behaviour silently truncated them, which dropped events landing
+  exactly at the horizon.)
 """
 
 from __future__ import annotations
@@ -37,14 +55,17 @@ class CountWindows:
         self._counts[index] += amount
 
     def series(self, horizon: float | None = None) -> np.ndarray:
-        """Return the per-window counts, padded with zeros up to ``horizon``."""
+        """Per-window counts, zero-padded up to ``horizon``.
+
+        The horizon only pads: recorded events are never discarded, so an
+        event landing exactly at ``horizon`` (which the half-open convention
+        places in window ``horizon / W``) stays in the series.
+        """
         counts = list(self._counts)
         if horizon is not None:
             needed = int(np.ceil(horizon / self.window))
             if needed > len(counts):
                 counts.extend([0.0] * (needed - len(counts)))
-            else:
-                counts = counts[:needed]
         return np.asarray(counts, dtype=float)
 
 
@@ -73,6 +94,11 @@ class TimeWeightedWindows:
             raise ValueError("start must be non-negative")
         first = int(start // self.window)
         last = int(end // self.window)
+        if end == last * self.window:
+            # The interval is half-open: an end exactly on a window boundary
+            # contributes nothing to the window starting there (appending it
+            # would add a spurious trailing zero window to the series).
+            last -= 1
         if last >= len(self._integrals):
             self._integrals.extend([0.0] * (last + 1 - len(self._integrals)))
         if first == last:
@@ -87,14 +113,16 @@ class TimeWeightedWindows:
         self._integrals[last] += value * (end - last * self.window)
 
     def series(self, horizon: float | None = None, normalize: bool = True) -> np.ndarray:
-        """Per-window integrals, optionally divided by the window length."""
+        """Per-window integrals, optionally divided by the window length.
+
+        Like :meth:`CountWindows.series`, the horizon only pads with zero
+        windows — recorded mass is never truncated away.
+        """
         integrals = list(self._integrals)
         if horizon is not None:
             needed = int(np.ceil(horizon / self.window))
             if needed > len(integrals):
                 integrals.extend([0.0] * (needed - len(integrals)))
-            else:
-                integrals = integrals[:needed]
         series = np.asarray(integrals, dtype=float)
         if normalize:
             series = series / self.window

@@ -15,6 +15,9 @@
 * :mod:`~repro.queueing.ctmc` — sparse continuous-time Markov chain
   utilities shared by the solvers, including the size-aware solver-tier
   selection (``direct`` / ``ilu_krylov`` / ``matrix_free``).
+* :mod:`~repro.queueing.transient` — time-varying solution layers on top of
+  the exact solver: piecewise-stationary sweeps with cross-segment warm
+  starts, and true transients by uniformization on the materialized tier.
 * :mod:`~repro.queueing.mg1` — classical single-station references
   (M/M/1, M/G/1, heavy-traffic G/G/1 with an index of dispersion).
 * :mod:`~repro.queueing.bounds` — asymptotic bounds for closed networks.
@@ -43,6 +46,15 @@ from repro.queueing.map_network import (
     MapNetworkResult,
     solve_map_closed_network,
     MapClosedNetworkSolver,
+)
+from repro.queueing.transient import (
+    NetworkSegment,
+    PiecewiseTransientSolution,
+    SegmentTransient,
+    remap_distribution,
+    solve_piecewise_stationary,
+    solve_piecewise_transient,
+    uniformized_transient,
 )
 from repro.queueing.mg1 import (
     mm1_metrics,
@@ -73,6 +85,13 @@ __all__ = [
     "MapNetworkResult",
     "solve_map_closed_network",
     "MapClosedNetworkSolver",
+    "NetworkSegment",
+    "PiecewiseTransientSolution",
+    "SegmentTransient",
+    "remap_distribution",
+    "solve_piecewise_stationary",
+    "solve_piecewise_transient",
+    "uniformized_transient",
     "mm1_metrics",
     "mg1_mean_response_time",
     "heavy_traffic_mean_waiting_time",

@@ -257,20 +257,77 @@ class MapClosedNetworkSolver:
         )
         return distribution, tier
 
-    def solve(self, population: int, tier: str | None = None) -> MapNetworkResult:
+    def metrics_from_distribution(
+        self, space: NetworkStateSpace, distribution: np.ndarray
+    ) -> MapNetworkResult:
+        """Network metrics of an arbitrary distribution over ``space``.
+
+        The distribution need not be the steady state: the transient layer
+        (:mod:`repro.queueing.transient`) evaluates time-averaged and
+        end-of-segment distributions through the same reductions, so
+        piecewise-stationary and transient metrics are directly comparable.
+        """
+        return self._metrics(space, distribution)
+
+    def initial_distribution(self, space: NetworkStateSpace) -> np.ndarray:
+        """The empty-network distribution: everyone thinking, phases stationary.
+
+        All probability mass sits in the ``(n_front, n_db) = (0, 0)`` block,
+        spread over the phase pairs as the product of the two MAPs' embedded
+        stationary distributions — exactly how the simulators initialise
+        their replications, which makes transient solutions and simulated
+        trajectories start from the same state.
+        """
+        phase_product = np.outer(
+            self.front_service.embedded_stationary, self.db_service.embedded_stationary
+        ).ravel()
+        distribution = np.zeros(space.num_states)
+        block = space.block_index(0, 0) * space.block_size
+        distribution[block:block + space.block_size] = phase_product
+        return distribution / distribution.sum()
+
+    def solve(
+        self,
+        population: int,
+        tier: str | None = None,
+        initial_guess: np.ndarray | None = None,
+    ) -> MapNetworkResult:
         """Solve the network for the given customer population.
 
         ``tier`` forces a solver tier (``direct``, ``ilu_krylov`` or
         ``matrix_free``); by default :func:`repro.queueing.ctmc.choose_solver_tier`
         picks from the state count (the ``REPRO_SOLVER_TIER`` environment
         variable overrides).  The result records the tier that produced it.
+        ``initial_guess`` warm-starts the iterative tiers (the direct solve
+        ignores it, so small systems return identical results either way);
+        piecewise-stationary sweeps pass the previous segment's steady state.
         """
         if population < 1:
             raise ValueError("population must be >= 1")
         space = self.state_space(population)
         chosen = choose_solver_tier(space.num_states, override=tier)
-        distribution, used = self._steady_state(space, chosen, guess=None)
+        distribution, used = self._steady_state(space, chosen, guess=initial_guess)
         return replace(self._metrics(space, distribution), solver_tier=used)
+
+    def solve_distribution(
+        self,
+        population: int,
+        tier: str | None = None,
+        initial_guess: np.ndarray | None = None,
+    ) -> tuple[NetworkStateSpace, np.ndarray, str]:
+        """Steady-state distribution (not just metrics) of one population.
+
+        Returns ``(space, distribution, tier_used)``.  The piecewise layers
+        in :mod:`repro.queueing.transient` chain these distributions across
+        segments — as warm starts for the next segment's steady state, or as
+        the initial condition of the next segment's transient.
+        """
+        if population < 1:
+            raise ValueError("population must be >= 1")
+        space = self.state_space(population)
+        chosen = choose_solver_tier(space.num_states, override=tier)
+        distribution, used = self._steady_state(space, chosen, guess=initial_guess)
+        return space, distribution, used
 
     def solve_sweep(self, populations, tier: str | None = None) -> list[MapNetworkResult]:
         """Solve the network for every population in ``populations``.

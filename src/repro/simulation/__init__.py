@@ -13,6 +13,9 @@
 * :mod:`~repro.simulation.batched` — a vectorized kernel that advances every
   replication of that network in lockstep as numpy arrays (the ``batched``
   simulation backend of the experiment engine),
+* :mod:`~repro.simulation.timevarying` — scalar and batched jump-chain
+  kernels for *time-varying* timelines (diurnal curves, flash crowds,
+  regime-switching MAPs), with per-segment statistics,
 * :mod:`~repro.simulation.random_streams` — seeded random-stream management.
 """
 
@@ -28,6 +31,12 @@ from repro.simulation.batched import (
     SIM_BACKENDS,
     simulate_closed_map_network_batch,
 )
+from repro.simulation.timevarying import (
+    SegmentSimStats,
+    TimeVaryingSimResult,
+    simulate_timevarying_closed_map_network,
+    simulate_timevarying_closed_map_network_batch,
+)
 from repro.simulation.random_streams import RandomStreams, derive_seed, named_seed_sequence
 
 __all__ = [
@@ -40,6 +49,10 @@ __all__ = [
     "simulate_closed_map_network_batch",
     "BATCH_RNG_CHUNK",
     "SIM_BACKENDS",
+    "SegmentSimStats",
+    "TimeVaryingSimResult",
+    "simulate_timevarying_closed_map_network",
+    "simulate_timevarying_closed_map_network_batch",
     "RandomStreams",
     "derive_seed",
     "named_seed_sequence",

@@ -29,10 +29,27 @@ class TestCountWindows:
         windows.record(0.5)
         assert windows.series(horizon=5.0).shape == (5,)
 
-    def test_horizon_truncates(self):
+    def test_horizon_never_discards_events(self):
+        # The horizon pads with zeros but never truncates recorded data:
+        # the historical truncation silently dropped events past the horizon.
         windows = CountWindows(1.0)
         windows.record(7.5)
-        assert windows.series(horizon=2.0).shape == (2,)
+        series = windows.series(horizon=2.0)
+        assert series.shape == (8,)
+        assert series.sum() == pytest.approx(1.0)
+
+    def test_event_at_horizon_boundary_kept(self):
+        # Regression: an event landing exactly at the horizon lives in the
+        # half-open window [5, 6) and used to be truncated away by
+        # series(horizon=5.0) while a horizon-less call kept it.
+        windows = CountWindows(1.0)
+        windows.record(5.0)
+        with_horizon = windows.series(horizon=5.0)
+        without_horizon = windows.series()
+        assert with_horizon.sum() == pytest.approx(1.0)
+        assert np.allclose(with_horizon, without_horizon)
+        assert with_horizon.shape == (6,)
+        assert with_horizon[5] == pytest.approx(1.0)
 
     def test_amount_parameter(self):
         windows = CountWindows(1.0)
@@ -81,6 +98,32 @@ class TestTimeWeightedWindows:
     def test_backwards_interval_rejected(self):
         with pytest.raises(ValueError):
             TimeWeightedWindows(1.0).record(2.0, 1.0, 1.0)
+
+    def test_interval_ending_on_boundary_has_no_trailing_window(self):
+        # Regression: an interval ending exactly on a window boundary used to
+        # append a spurious zero window (6 entries for [0, 5) with W = 1).
+        windows = TimeWeightedWindows(1.0)
+        windows.record(0.0, 5.0, 1.0)
+        series = windows.series()
+        assert series.shape == (5,)
+        assert np.allclose(series, np.ones(5))
+
+    def test_segment_ending_on_boundary(self):
+        # An interval fully inside earlier windows whose end hits a boundary:
+        # the final window gets exactly value * W, nothing spills over.
+        windows = TimeWeightedWindows(2.0)
+        windows.record(1.0, 4.0, 3.0)
+        series = windows.series(normalize=False)
+        assert series.shape == (2,)
+        assert series[0] == pytest.approx(3.0)  # [1, 2) at value 3
+        assert series[1] == pytest.approx(6.0)  # [2, 4) at value 3
+
+    def test_horizon_never_discards_mass(self):
+        windows = TimeWeightedWindows(1.0)
+        windows.record(0.0, 3.0, 2.0)
+        series = windows.series(horizon=1.0, normalize=False)
+        assert series.shape == (3,)
+        assert series.sum() == pytest.approx(6.0)
 
 
 class TestServerMonitor:

@@ -145,3 +145,60 @@ class TestWindowAccumulatorProperties:
             clock += duration
         series = accumulator.series(horizon=clock, normalize=False)
         assert series.sum() == pytest.approx(total, rel=1e-9)
+
+    @given(
+        window=st.floats(min_value=0.1, max_value=10.0),
+        # Mix "nice" multiples of the window (which land exactly on window
+        # boundaries) with arbitrary floats, so the boundary cases are hit.
+        steps=st.lists(
+            st.one_of(
+                st.integers(min_value=1, max_value=5),
+                st.floats(min_value=1e-3, max_value=7.0),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_series_length_is_ceil_t_last_over_window(self, window, steps):
+        # Half-open [kW, (k+1)W) windows: a stream of intervals tiling
+        # [0, t_last) yields exactly ceil(t_last / W) windows — an interval
+        # end exactly on a boundary must not open the next window.
+        accumulator = TimeWeightedWindows(window)
+        clock = 0.0
+        for step in steps:
+            duration = step * window if isinstance(step, int) else float(step)
+            accumulator.record(clock, clock + duration, 1.0)
+            clock += duration
+        expected = int(np.ceil(clock / window))
+        assert accumulator.series().shape == (expected,)
+
+    @given(
+        window=st.floats(min_value=0.1, max_value=10.0),
+        steps=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=0.0, max_value=7.0),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_event_series_length_covers_last_event(self, window, steps):
+        # A point event at t lands in window floor(t / W), so the series has
+        # floor(t_last / W) + 1 windows — which equals ceil(t_last / W)
+        # except when t_last is exactly a window boundary (the event then
+        # opens the next window under the half-open convention).
+        from repro.monitoring.windows import CountWindows
+
+        accumulator = CountWindows(window)
+        t_last = 0.0
+        for step in steps:
+            offset = step * window if isinstance(step, int) else float(step)
+            t_last += offset
+            accumulator.record(t_last)
+        series = accumulator.series()
+        expected = int(t_last // window) + 1
+        assert series.shape == (expected,)
+        assert series.sum() == pytest.approx(len(steps))

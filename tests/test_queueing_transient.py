@@ -1,0 +1,258 @@
+"""Piecewise-stationary and uniformized-transient solver layer.
+
+Validates the time-varying solver tier (:mod:`repro.queueing.transient`)
+three ways:
+
+* **exactness** — the piecewise-stationary solve of a timeline returns, per
+  segment, *exactly* the result of an independent steady-state solve of that
+  segment's network (warm starts accelerate, never perturb),
+* **convergence** — the uniformized transient of a held-constant network
+  approaches the steady-state distribution, and its time-average approaches
+  the steady metrics as the horizon grows,
+* **statistics** — on a bursty MAP pair with a population surge, the
+  transient solution's per-segment throughput agrees with the batched
+  simulator's replication mean within CLT confidence bounds.
+
+Plus unit coverage of the distribution remap across population changes
+(the boundary convention both the transient solver and the simulators
+implement: joiners enter the think station, excess customers drop from the
+front queue first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import map2_exponential, map2_from_moments_and_decay
+from repro.queueing import (
+    MapClosedNetworkSolver,
+    NetworkSegment,
+    remap_distribution,
+    solve_map_closed_network,
+    solve_piecewise_stationary,
+    solve_piecewise_transient,
+    uniformized_transient,
+)
+
+THINK = 0.5
+
+
+def _front():
+    return map2_exponential(0.05)
+
+
+def _db(mean=0.04, scv=4.0, decay=0.5):
+    return map2_from_moments_and_decay(mean, scv, decay)
+
+
+def _timeline():
+    front, db = _front(), _db()
+    bursty_db = _db(decay=0.9)
+    return [
+        NetworkSegment(duration=40.0, front=front, db=db, think_time=THINK, population=4, label="base"),
+        NetworkSegment(duration=20.0, front=front, db=bursty_db, think_time=THINK, population=8, label="surge"),
+        NetworkSegment(duration=40.0, front=front, db=db, think_time=THINK, population=2, label="cool"),
+    ]
+
+
+class TestNetworkSegment:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            NetworkSegment(duration=0.0, front=_front(), db=_db(), think_time=THINK, population=3)
+
+    def test_rejects_nonpositive_population(self):
+        with pytest.raises(ValueError, match="population"):
+            NetworkSegment(duration=1.0, front=_front(), db=_db(), think_time=THINK, population=0)
+
+
+class TestPiecewiseStationary:
+    def test_matches_independent_solves_exactly(self):
+        segments = _timeline()
+        piecewise = solve_piecewise_stationary(segments)
+        for segment, result in zip(segments, piecewise):
+            alone = solve_map_closed_network(
+                segment.front, segment.db, segment.think_time, segment.population
+            )
+            assert result == alone
+
+    def test_duplicate_segments_solved_once(self):
+        front, db = _front(), _db()
+        same = NetworkSegment(
+            duration=10.0, front=front, db=db, think_time=THINK, population=4
+        )
+        results = solve_piecewise_stationary([same, same, same])
+        assert results[0] == results[1] == results[2]
+
+    def test_respects_tier_override(self):
+        results = solve_piecewise_stationary(_timeline(), tier="direct")
+        assert all(result.solver_tier == "direct" for result in results)
+
+
+class TestUniformizedTransient:
+    def test_converges_to_steady_state(self):
+        front, db = _front(), _db()
+        solver = MapClosedNetworkSolver(front, db, THINK)
+        space, steady, _ = solver.solve_distribution(4)
+        generator = solver._assembler.build(space)
+        initial = solver.initial_distribution(space)
+        pi_end, pi_avg = uniformized_transient(generator, initial, duration=200.0)
+        np.testing.assert_allclose(pi_end, steady, atol=1e-8)
+        # Time-average lags the endpoint but must head the same way.
+        end_metrics = solver.metrics_from_distribution(space, pi_end)
+        steady_result = solve_map_closed_network(front, db, THINK, 4)
+        assert end_metrics.throughput == pytest.approx(steady_result.throughput, rel=1e-7)
+
+    def test_distributions_are_normalized(self):
+        front, db = _front(), _db()
+        solver = MapClosedNetworkSolver(front, db, THINK)
+        space = solver.state_space(5)
+        generator = solver._assembler.build(space)
+        initial = solver.initial_distribution(space)
+        pi_end, pi_avg = uniformized_transient(generator, initial, duration=3.0)
+        assert pi_end.sum() == pytest.approx(1.0, abs=1e-12)
+        assert pi_avg.sum() == pytest.approx(1.0, abs=1e-12)
+        assert pi_end.min() >= 0.0 and pi_avg.min() >= 0.0
+
+    def test_truncation_cap_raises_informatively(self):
+        front, db = _front(), _db()
+        solver = MapClosedNetworkSolver(front, db, THINK)
+        space = solver.state_space(3)
+        generator = solver._assembler.build(space)
+        initial = solver.initial_distribution(space)
+        with pytest.raises(ValueError, match="terms"):
+            uniformized_transient(generator, initial, duration=5.0, max_terms=10)
+
+
+class TestRemapDistribution:
+    def test_same_population_is_identity(self):
+        solver = MapClosedNetworkSolver(_front(), _db(), THINK)
+        space = solver.state_space(4)
+        _, steady, _ = solver.solve_distribution(4)
+        np.testing.assert_allclose(remap_distribution(space, steady, space), steady)
+
+    def test_population_increase_joins_think_station(self):
+        solver = MapClosedNetworkSolver(_front(), _db(), THINK)
+        small = solver.state_space(3)
+        large = solver.state_space(6)
+        _, steady, _ = solver.solve_distribution(3)
+        mapped = remap_distribution(small, steady, large)
+        assert mapped.sum() == pytest.approx(1.0, abs=1e-12)
+        # Per-(n_front, n_db) block mass is preserved verbatim: additions
+        # enter the (unrepresented) think station, queues are untouched.
+        small_mass = _block_mass(small, steady)
+        large_mass = _block_mass(large, mapped)
+        for key, mass in small_mass.items():
+            assert large_mass.get(key, 0.0) == pytest.approx(mass, abs=1e-12)
+
+    def test_population_decrease_drops_front_first(self):
+        solver = MapClosedNetworkSolver(_front(), _db(), THINK)
+        big = solver.state_space(3)
+        tiny = solver.state_space(1)
+        # All mass in block (n_front=2, n_db=1) -> excess 2, dropped entirely
+        # from the front queue: target block (0, 1).
+        distribution = np.zeros(big.num_states)
+        source_block = _block_index(big, 2, 1)
+        distribution[source_block * int(big.block_size)] = 1.0
+        mapped = remap_distribution(big, distribution, tiny)
+        target_mass = _block_mass(tiny, mapped)
+        assert set(target_mass) == {(0, 1)}
+        assert target_mass[(0, 1)] == pytest.approx(1.0, abs=1e-12)
+
+    def test_mass_conservation_random_distribution(self, rng):
+        solver = MapClosedNetworkSolver(_front(), _db(), THINK)
+        src = solver.state_space(5)
+        dst = solver.state_space(2)
+        distribution = rng.random(src.num_states)
+        distribution /= distribution.sum()
+        mapped = remap_distribution(src, distribution, dst)
+        assert mapped.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_rejects_mismatched_phase_orders(self):
+        solver_a = MapClosedNetworkSolver(_front(), _db(), THINK)
+        bigger_front = map2_from_moments_and_decay(0.05, 4.0, 0.5)
+        solver_b = MapClosedNetworkSolver(bigger_front, _db(), THINK)
+        space_a = solver_a.state_space(3)
+        space_b = solver_b.state_space(3)
+        if _phase_count(space_a) == _phase_count(space_b):
+            pytest.skip("spaces share phase counts; mismatch not constructible here")
+        _, steady, _ = solver_a.solve_distribution(3)
+        with pytest.raises(ValueError):
+            remap_distribution(space_a, steady, space_b)
+
+
+class TestPiecewiseTransient:
+    def test_constant_timeline_reaches_steady(self):
+        front, db = _front(), _db()
+        segment = NetworkSegment(
+            duration=200.0, front=front, db=db, think_time=THINK, population=4
+        )
+        solution = solve_piecewise_transient([segment])
+        steady = solve_map_closed_network(front, db, THINK, 4)
+        final = solution.segments[0].final.summary()
+        assert final["throughput"] == pytest.approx(steady.throughput, rel=1e-6)
+        assert solution.horizon == pytest.approx(200.0)
+
+    def test_segment_bookkeeping(self):
+        solution = solve_piecewise_transient(_timeline())
+        assert [s.label for s in solution.segments] == ["base", "surge", "cool"]
+        assert solution.segments[0].start == 0.0
+        assert solution.segments[-1].end == pytest.approx(100.0)
+        overall = solution.overall()
+        assert set(overall) == {
+            "throughput",
+            "front_utilization",
+            "db_utilization",
+            "front_queue_length",
+            "db_queue_length",
+        }
+        assert overall["throughput"] > 0.0
+
+    def test_cross_validates_against_batched_simulator(self):
+        """Per-segment transient throughput within CLT bounds of the simulator.
+
+        A bursty MAP pair with a population surge and drain; 128 batched
+        replications give standard errors small enough that a genuine solver
+        bug (wrong boundary handling, mis-remapped distribution) lands tens
+        of standard errors out, while an unbiased solver stays within ~5.
+        """
+        from repro.simulation import simulate_timevarying_closed_map_network_batch
+
+        segments = _timeline()
+        solution = solve_piecewise_transient(segments)
+        results = simulate_timevarying_closed_map_network_batch(
+            segments, warmup=0.0, seeds=range(128)
+        )
+        for index in range(len(segments)):
+            sims = np.array([r.segments[index].throughput for r in results])
+            claimed = solution.segments[index].average.summary()["throughput"]
+            stderr = sims.std(ddof=1) / np.sqrt(len(sims))
+            z = (sims.mean() - claimed) / stderr
+            assert abs(z) < 5.0, (
+                f"segment {index}: sim mean {sims.mean():.4f} vs transient "
+                f"{claimed:.4f} (z = {z:.2f})"
+            )
+
+
+# ----------------------------------------------------------------------
+# Small state-space helpers (block bookkeeping via the public block arrays).
+# ----------------------------------------------------------------------
+def _phase_count(space) -> int:
+    return int(space.k_front * space.k_db)
+
+
+def _block_index(space, n_front: int, n_db: int) -> int:
+    for index, (bf, bd) in enumerate(zip(space.block_n_front, space.block_n_db)):
+        if bf == n_front and bd == n_db:
+            return index
+    raise AssertionError(f"no block ({n_front}, {n_db}) in space")
+
+
+def _block_mass(space, distribution) -> dict:
+    phases = int(space.block_size)
+    mass: dict = {}
+    for index, (bf, bd) in enumerate(zip(space.block_n_front, space.block_n_db)):
+        total = float(distribution[index * phases : (index + 1) * phases].sum())
+        if total > 1e-15:
+            mass[(int(bf), int(bd))] = mass.get((int(bf), int(bd)), 0.0) + total
+    return mass

@@ -1,0 +1,241 @@
+"""Time-varying simulators: determinism, static equivalence, cross-checks.
+
+The time-varying kernels (:mod:`repro.simulation.timevarying`) extend the
+static scalar and batched simulators with piecewise-constant modulation.
+This suite pins down their contracts:
+
+* **static equivalence** — on a single-segment timeline the batched
+  time-varying kernel reproduces the static batched kernel's trajectories
+  exactly (identical completion/event counts; float statistics to last-ulp
+  summation-order differences),
+* **seed policy** — fixed seeds give bit-identical results across runs, and
+  a replication's result is independent of which other replications share
+  the batch (the property resume-from-partial cache entries rely on),
+* **cross-validation** — scalar and batched replication means agree with
+  each other and with the exact piecewise CTMC within CLT bounds,
+* **bookkeeping** — per-segment windows, populations, and the half-open
+  warmup/horizon accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import map2_exponential, map2_from_moments_and_decay
+from repro.queueing import NetworkSegment, solve_map_closed_network
+from repro.simulation import (
+    simulate_closed_map_network_batch,
+    simulate_timevarying_closed_map_network,
+    simulate_timevarying_closed_map_network_batch,
+)
+
+THINK = 0.5
+
+
+def _front():
+    return map2_exponential(0.05)
+
+
+def _db(mean=0.04, scv=4.0, decay=0.5):
+    return map2_from_moments_and_decay(mean, scv, decay)
+
+
+def _timeline():
+    front, db = _front(), _db()
+    return [
+        NetworkSegment(duration=60.0, front=front, db=db, think_time=THINK, population=4, label="base"),
+        NetworkSegment(duration=30.0, front=front, db=_db(decay=0.9), think_time=THINK, population=8, label="surge"),
+        NetworkSegment(duration=60.0, front=front, db=db, think_time=THINK, population=2, label="cool"),
+    ]
+
+
+class TestStaticEquivalence:
+    """One constant segment must reproduce the static batched kernel."""
+
+    def test_single_segment_matches_static_batched_kernel(self):
+        front, db = _front(), _db()
+        segment = NetworkSegment(
+            duration=300.0, front=front, db=db, think_time=THINK, population=4
+        )
+        seeds = [101, 202, 303]
+        tv = simulate_timevarying_closed_map_network_batch(
+            [segment], warmup=30.0, seeds=seeds
+        )
+        static = simulate_closed_map_network_batch(
+            front, db, THINK, 4, horizon=300.0, warmup=30.0, seeds=seeds
+        )
+        for a, b in zip(tv, static):
+            # Identical trajectories: integer accounting matches exactly.
+            assert a.completed == b.completed
+            assert a.events == b.events
+            assert a.throughput == b.throughput
+            # Float accumulators may differ in summation order only.
+            for field in (
+                "front_utilization",
+                "db_utilization",
+                "front_queue_length",
+                "db_queue_length",
+                "measured_time",
+            ):
+                assert getattr(a, field) == pytest.approx(
+                    getattr(b, field), rel=1e-12
+                ), field
+
+    def test_single_segment_matches_steady_state(self):
+        front, db = _front(), _db()
+        segment = NetworkSegment(
+            duration=400.0, front=front, db=db, think_time=THINK, population=4
+        )
+        results = simulate_timevarying_closed_map_network_batch(
+            [segment], warmup=40.0, seeds=range(64)
+        )
+        steady = solve_map_closed_network(front, db, THINK, 4)
+        sims = np.array([r.throughput for r in results])
+        stderr = sims.std(ddof=1) / np.sqrt(len(sims))
+        assert abs(sims.mean() - steady.throughput) < 5.0 * stderr
+
+
+class TestSeedPolicy:
+    def test_batched_is_deterministic(self):
+        segments = _timeline()
+        first = simulate_timevarying_closed_map_network_batch(
+            segments, warmup=10.0, seeds=[7, 8, 9]
+        )
+        second = simulate_timevarying_closed_map_network_batch(
+            segments, warmup=10.0, seeds=[7, 8, 9]
+        )
+        assert first == second
+
+    def test_batch_composition_independence(self):
+        segments = _timeline()
+        together = simulate_timevarying_closed_map_network_batch(
+            segments, warmup=10.0, seeds=range(10)
+        )
+        alone = simulate_timevarying_closed_map_network_batch(
+            segments, warmup=10.0, seeds=[3]
+        )[0]
+        assert together[3] == alone
+
+    def test_scalar_is_deterministic(self):
+        segments = _timeline()
+        first = simulate_timevarying_closed_map_network(
+            segments, warmup=10.0, rng=np.random.default_rng(42)
+        )
+        second = simulate_timevarying_closed_map_network(
+            segments, warmup=10.0, rng=np.random.default_rng(42)
+        )
+        assert first == second
+
+
+class TestCrossValidation:
+    def test_scalar_and_batched_agree_statistically(self):
+        """Two independent kernel implementations of one CTMC.
+
+        Welch-style two-sample comparison of overall throughput means; a
+        boundary-handling bug in either kernel (off-by-one segment index,
+        transition applied on a clamped step) shifts the mean far outside
+        these bounds.
+        """
+        segments = _timeline()
+        n = 48
+        batched = simulate_timevarying_closed_map_network_batch(
+            segments, warmup=10.0, seeds=range(n)
+        )
+        scalar = [
+            simulate_timevarying_closed_map_network(
+                segments, warmup=10.0, rng=np.random.default_rng(10_000 + i)
+            )
+            for i in range(n)
+        ]
+        a = np.array([r.throughput for r in batched])
+        b = np.array([r.throughput for r in scalar])
+        pooled = np.sqrt(a.var(ddof=1) / n + b.var(ddof=1) / n)
+        assert abs(a.mean() - b.mean()) < 5.0 * pooled
+
+    def test_batched_matches_piecewise_ctmc_per_segment(self):
+        from repro.queueing import solve_piecewise_transient
+
+        segments = _timeline()
+        solution = solve_piecewise_transient(segments)
+        results = simulate_timevarying_closed_map_network_batch(
+            segments, warmup=0.0, seeds=range(96)
+        )
+        for index in range(len(segments)):
+            sims = np.array([r.segments[index].throughput for r in results])
+            claimed = solution.segments[index].average.summary()["throughput"]
+            stderr = sims.std(ddof=1) / np.sqrt(len(sims))
+            assert abs(sims.mean() - claimed) < 5.0 * stderr
+
+
+class TestBookkeeping:
+    def test_segment_windows_and_populations(self):
+        segments = _timeline()
+        result = simulate_timevarying_closed_map_network_batch(
+            segments, warmup=10.0, seeds=[1]
+        )[0]
+        per_segment = result.segments
+        assert [s.label for s in per_segment] == ["base", "surge", "cool"]
+        assert [s.population for s in per_segment] == [4, 8, 2]
+        assert per_segment[0].start == 0.0
+        assert per_segment[0].end == pytest.approx(60.0)
+        assert per_segment[-1].end == pytest.approx(150.0)
+        # Warmup is carved out of the first segment's measured time only.
+        assert per_segment[0].measured_time == pytest.approx(50.0)
+        assert per_segment[1].measured_time == pytest.approx(30.0)
+        assert per_segment[2].measured_time == pytest.approx(60.0)
+        assert result.measured_time == pytest.approx(140.0)
+        assert result.horizon == pytest.approx(150.0)
+
+    def test_overall_is_measured_time_weighted(self):
+        result = simulate_timevarying_closed_map_network_batch(
+            _timeline(), warmup=10.0, seeds=[5]
+        )[0]
+        weighted = sum(s.throughput * s.measured_time for s in result.segments)
+        assert result.throughput == pytest.approx(weighted / result.measured_time)
+        assert result.completed == sum(s.completed for s in result.segments)
+
+    def test_summary_keys_match_other_kernels(self):
+        result = simulate_timevarying_closed_map_network_batch(
+            _timeline(), warmup=10.0, seeds=[5]
+        )[0]
+        assert set(result.summary()) == {
+            "throughput",
+            "front_utilization",
+            "db_utilization",
+            "front_queue_length",
+            "db_queue_length",
+        }
+
+    def test_scalar_reports_segments_too(self):
+        result = simulate_timevarying_closed_map_network(
+            _timeline(), warmup=10.0, rng=np.random.default_rng(1)
+        )
+        assert [s.label for s in result.segments] == ["base", "surge", "cool"]
+        assert all(s.measured_time > 0.0 for s in result.segments)
+
+
+class TestValidation:
+    def test_rejects_warmup_at_or_past_horizon(self):
+        front, db = _front(), _db()
+        segment = NetworkSegment(
+            duration=10.0, front=front, db=db, think_time=THINK, population=2
+        )
+        with pytest.raises(ValueError):
+            simulate_timevarying_closed_map_network_batch(
+                [segment], warmup=10.0, seeds=[1]
+            )
+
+    def test_rejects_empty_timeline(self):
+        with pytest.raises(ValueError):
+            simulate_timevarying_closed_map_network_batch([], seeds=[1])
+
+    def test_rejects_mismatched_phase_orders(self):
+        front, db = _front(), _db()
+        other_front = map2_from_moments_and_decay(0.05, 4.0, 0.5)
+        a = NetworkSegment(duration=5.0, front=front, db=db, think_time=THINK, population=2)
+        b = NetworkSegment(duration=5.0, front=other_front, db=db, think_time=THINK, population=2)
+        if a.front.order == b.front.order:
+            pytest.skip("MAP constructors share orders; mismatch not constructible")
+        with pytest.raises(ValueError):
+            simulate_timevarying_closed_map_network_batch([a, b], seeds=[1])
