@@ -18,6 +18,10 @@ runner:
   atomic incremental writes and resume-from-partial,
 * :mod:`~repro.experiments.runner` — multiprocessing fan-out that streams
   completed cells into the store as they finish,
+* :mod:`~repro.experiments.supervision` — the fault-tolerant execution
+  envelope around the fan-out: per-cell timeouts, bounded retries with
+  backoff, crash isolation and a failure budget, with deterministic fault
+  injection (:mod:`~repro.experiments.faults`) for chaos tests,
 * :mod:`~repro.experiments.packs` — scenario *packs*: JSON spec files
   (``scenarios/*.json``) validated and run directly from the CLI,
 * :mod:`~repro.experiments.cli` — ``python -m repro.experiments run fig4``
@@ -25,7 +29,8 @@ runner:
   maintenance surface.
 """
 
-from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.cache import ResultCache, ResumeState, default_cache_dir
+from repro.experiments.faults import FAULT_ENV, parse_fault_spec
 from repro.experiments.registry import (
     EB_VALUES,
     PAPER_SCENARIOS,
@@ -39,6 +44,7 @@ from repro.experiments.registry import (
 from repro.experiments.results import (
     ArtifactIntegrityError,
     ArtifactRef,
+    CellFailure,
     CellResult,
     ExperimentResult,
     register_artifact_codec,
@@ -50,10 +56,12 @@ from repro.experiments.packs import (
     validate_pack,
 )
 from repro.experiments.runner import ExperimentRunner, run_scenario
+from repro.experiments.supervision import FailureBudgetExceeded, SupervisionPolicy
 from repro.experiments.spec import (
     Cell,
     EstimationSpec,
     MapSpec,
+    OutageWindow,
     ReplicationPolicy,
     ScenarioSpec,
     SolverSpec,
@@ -68,19 +76,25 @@ __all__ = [
     "ArtifactIntegrityError",
     "ArtifactRef",
     "Cell",
+    "CellFailure",
     "CellResult",
     "EB_VALUES",
     "EstimationSpec",
     "ExperimentResult",
     "ExperimentRunner",
+    "FAULT_ENV",
+    "FailureBudgetExceeded",
     "MapSpec",
+    "OutageWindow",
     "PACK_FORMAT",
     "PAPER_SCENARIOS",
     "PackValidationError",
     "ReplicationPolicy",
     "ResultCache",
+    "ResumeState",
     "ScenarioSpec",
     "SolverSpec",
+    "SupervisionPolicy",
     "SyntheticWorkload",
     "TestbedWorkload",
     "TimeVaryingSegment",
@@ -88,6 +102,7 @@ __all__ = [
     "TraceWorkload",
     "default_cache_dir",
     "load_pack",
+    "parse_fault_spec",
     "validate_pack",
     "get_scenario",
     "list_scenarios",

@@ -36,6 +36,19 @@ treated as a miss (logged at WARNING).  Entries written by the pre-artifact
 single-file format (``<scenario-name>-<spec-hash>.json``) predate the code
 fingerprint and therefore cannot prove which kernels produced them: they are
 listed by ``cache ls`` and removed by ``rm``/``gc``, but never served.
+
+Suspect payloads are **quarantined**, not destroyed: a side-file that fails
+its digest check on the resume path, and the files of an entry whose manifest
+is corrupt or fingerprint-stale when a new writer takes the directory over,
+are moved into the entry's ``.quarantine/`` subdirectory (preserved for
+post-mortems, pruned by ``cache gc``) instead of being silently overwritten.
+
+Manifests also record the **failures** of a supervised run (cells whose
+retry budget was exhausted; see :mod:`repro.experiments.supervision`) next to
+the completed rows.  A finalized entry that carries failures is a *partial
+result*: :meth:`ResultCache.load` refuses to serve it, and the next run of
+the same spec retries exactly the failed cells through
+:meth:`ResultCache.load_resume_state`.
 """
 
 from __future__ import annotations
@@ -52,7 +65,7 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro.experiments.results import ArtifactIntegrityError, ArtifactRef, write_artifact
-from repro.experiments.results.schema import CellResult, ExperimentResult
+from repro.experiments.results.schema import CellFailure, CellResult, ExperimentResult
 from repro.experiments.spec import ScenarioSpec, cell_key
 
 __all__ = [
@@ -60,6 +73,7 @@ __all__ = [
     "CacheWriter",
     "GcReport",
     "ResultCache",
+    "ResumeState",
     "default_cache_dir",
     "source_fingerprint",
 ]
@@ -69,7 +83,8 @@ logger = logging.getLogger(__name__)
 _CACHE_ENV_VAR = "REPRO_EXPERIMENTS_CACHE"
 _DEFAULT_DIRNAME = ".experiments-cache"
 _MANIFEST = "manifest.json"
-_FORMAT = 3  # 3: manifests embed the solver-code fingerprint
+_QUARANTINE = ".quarantine"
+_FORMAT = 4  # 3: manifests embed the solver-code fingerprint; 4: failures
 _HASH_LEN = 16  # length of ScenarioSpec.hash()
 #: How long gc leaves a manifest-less (corrupt-looking) entry alone, so a
 #: concurrent run that has written its first artifact but not yet its first
@@ -84,8 +99,11 @@ def default_cache_dir() -> Path:
 
 #: Engine modules whose code can never change a cell's *computed values*:
 #: storage/transport (cache), presentation (cli), scheduling (runner — cells
-#: are seeded by the spec, not by dispatch), and the registry (a registry
-#: edit changes the spec itself, which the spec hash already covers).
+#: are seeded by the spec, not by dispatch), the supervision envelope and its
+#: fault injector (they decide whether and when a cell runs; a failed attempt
+#: contributes no rows, and a retried cell recomputes from its spec-derived
+#: seed), and the registry (a registry edit changes the spec itself, which
+#: the spec hash already covers).
 #: Everything else in ``repro.experiments`` IS value-determining —
 #: ``solvers.py`` holds execution defaults and metric construction,
 #: ``spec.py`` the grid expansion and seed derivation, ``results/`` the
@@ -95,8 +113,10 @@ _FINGERPRINT_NEUTRAL_MODULES = frozenset({
     "experiments/__main__.py",
     "experiments/cache.py",
     "experiments/cli.py",
+    "experiments/faults.py",
     "experiments/registry.py",
     "experiments/runner.py",
+    "experiments/supervision.py",
 })
 
 
@@ -137,6 +157,46 @@ def _artifact_stem(key: str) -> str:
     return f"{slug}-{hashlib.sha256(key.encode('utf-8')).hexdigest()[:8]}"
 
 
+def _quarantine_file(entry_dir: Path, file_path: Path) -> Path | None:
+    """Move one suspect file into the entry's ``.quarantine/`` subdirectory.
+
+    A same-named file already in quarantine is replaced (latest suspect
+    wins).  Returns the quarantined path, or ``None`` when the move failed —
+    quarantining is best-effort and must never turn a cache miss into an
+    error.
+    """
+    try:
+        quarantine_dir = entry_dir / _QUARANTINE
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = quarantine_dir / file_path.name
+        os.replace(file_path, target)
+        return target
+    except OSError:
+        return None
+
+
+def _quarantine_entry(entry_dir: Path) -> int:
+    """Quarantine every top-level file of an entry; returns how many moved."""
+    moved = 0
+    try:
+        children = [child for child in entry_dir.iterdir() if child.is_file()]
+    except OSError:
+        return 0
+    for child in children:
+        if _quarantine_file(entry_dir, child) is not None:
+            moved += 1
+    return moved
+
+
+def _quarantine_stats(entry_dir: Path) -> tuple[int, int]:
+    """(files, bytes) currently held in an entry's quarantine subdirectory."""
+    quarantine_dir = entry_dir / _QUARANTINE
+    if not quarantine_dir.is_dir():
+        return 0, 0
+    files = [f for f in quarantine_dir.iterdir() if f.is_file()]
+    return len(files), sum(f.stat().st_size for f in files)
+
+
 @dataclass(frozen=True)
 class CacheEntryInfo:
     """One cache entry as reported by :meth:`ResultCache.entries`."""
@@ -165,6 +225,22 @@ class GcReport:
     removed_entries: tuple[str, ...]
     removed_orphans: int
     freed_bytes: int
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """Verified contents of an existing run directory, for the resume path.
+
+    ``rows`` holds the intact completed cells (tampered side-files are
+    quarantined, their rows dropped), ``failures`` the permanent cell
+    failures the entry's supervised run recorded, and ``status`` whether the
+    writing run finished (``"complete"`` — possible with failures under a
+    ``max_failures`` budget) or was killed mid-flight (``"partial"``).
+    """
+
+    rows: dict[str, CellResult]
+    failures: tuple[CellFailure, ...]
+    status: str
 
 
 class ResultCache:
@@ -209,6 +285,13 @@ class ResultCache:
             return None
         if manifest.get("status") != "complete":
             return None
+        if manifest.get("failures"):
+            logger.info(
+                "cache entry %s finished with %d failed cell(s); serving the "
+                "completed rows as resume state and retrying the failures",
+                self.path(spec), len(manifest["failures"]),
+            )
+            return None
         rows_by_key = self._rows_from_manifest(spec, manifest)
         if rows_by_key is None:
             return None
@@ -242,28 +325,58 @@ class ResultCache:
     def load_partial(self, spec: ScenarioSpec) -> dict[str, CellResult]:
         """Completed cells of a partial (or complete) entry, keyed by cell key.
 
+        Thin compatibility wrapper over :meth:`load_resume_state` for callers
+        that only need the rows.
+        """
+        state = self.load_resume_state(spec)
+        return {} if state is None else dict(state.rows)
+
+    def load_resume_state(self, spec: ScenarioSpec) -> "ResumeState | None":
+        """Everything a resuming run needs from an existing entry, or ``None``.
+
         Artifact side-files are verified eagerly here — a resumed run must
         not build on tampered or truncated payloads, so any row whose
-        artifact fails verification is dropped (and will be recomputed).
+        artifact fails verification is quarantined under ``.quarantine/``
+        and dropped from the resume state (the cell will be recomputed).
+        Recorded failures ride along so the runner can replay or retry them.
         """
         manifest = self._read_manifest(spec)
         if manifest is None:
-            return {}
+            return None
         rows_by_key = self._rows_from_manifest(spec, manifest)
         if rows_by_key is None:
-            return {}
+            return None
+        directory = self.path(spec)
         intact: dict[str, CellResult] = {}
         for key, row in rows_by_key.items():
             if isinstance(row.artifact, ArtifactRef):
                 try:
                     row.artifact.verify()
                 except ArtifactIntegrityError as error:
+                    quarantined = _quarantine_file(directory, Path(row.artifact.path))
                     logger.warning(
-                        "dropping cached cell %s from the resume state: %s", key, error
+                        "dropping cached cell %s from the resume state (%s)%s",
+                        key, error,
+                        f"; side-file quarantined at {quarantined}" if quarantined else "",
                     )
                     continue
             intact[key] = row
-        return intact
+        try:
+            failures = tuple(
+                CellFailure.from_dict(record)
+                for record in manifest.get("failures", ())
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            logger.warning(
+                "ignoring malformed failure records in cache entry %s: %s",
+                directory, error,
+            )
+            failures = ()
+        return ResumeState(
+            rows=intact,
+            failures=failures,
+            status=str(manifest.get("status", "partial")),
+        )
 
     def _read_manifest(self, spec: ScenarioSpec) -> dict | None:
         path = self.manifest_path(spec)
@@ -316,10 +429,18 @@ class ResultCache:
     # Write
     # ------------------------------------------------------------------
     def writer(
-        self, spec: ScenarioSpec, resumed: dict[str, CellResult] | None = None
+        self,
+        spec: ScenarioSpec,
+        resumed: dict[str, CellResult] | None = None,
+        failures: tuple[CellFailure, ...] = (),
     ) -> "CacheWriter":
-        """Incremental writer for ``spec``'s run directory."""
-        return CacheWriter(self, spec, resumed or {})
+        """Incremental writer for ``spec``'s run directory.
+
+        ``failures`` pre-seeds the manifest's failure records — used when a
+        resumed run replays failures from a killed run's manifest instead of
+        retrying them.
+        """
+        return CacheWriter(self, spec, resumed or {}, failures)
 
     def store(self, result: ExperimentResult, spec: ScenarioSpec) -> Path:
         """Write a finished ``result`` for ``spec`` in one call.
@@ -431,7 +552,9 @@ class ResultCache:
           manifest write has not landed yet,
         * side-files inside live run directories that no manifest references
           (left behind by a kill between an artifact write and the manifest
-          rewrite).
+          rewrite),
+        * ``.quarantine/`` subdirectories — suspect payloads are kept for
+          post-mortems until gc runs, then discarded.
 
         Only paths named ``<scenario>-<16-hex-hash>`` are ever touched.
         """
@@ -453,11 +576,19 @@ class ResultCache:
             )
             corrupt = info.status == "corrupt" and info.age_seconds > _CORRUPT_GRACE_SECONDS
             if stale_hash or stale_code or too_old or corrupt:
-                freed += info.total_bytes
+                quarantine_bytes = 0
+                if info.path.is_dir():
+                    _, quarantine_bytes = _quarantine_stats(info.path)
+                freed += info.total_bytes + quarantine_bytes
                 _remove_entry_path(info.path)
                 removed_entries.append(info.path.name)
                 continue
             if info.path.is_dir():
+                if (info.path / _QUARANTINE).is_dir():
+                    quarantined, quarantine_bytes = _quarantine_stats(info.path)
+                    shutil.rmtree(info.path / _QUARANTINE, ignore_errors=True)
+                    removed_orphans += quarantined
+                    freed += quarantine_bytes
                 orphans, orphan_bytes = self._prune_orphans(info.path)
                 removed_orphans += orphans
                 freed += orphan_bytes
@@ -506,12 +637,24 @@ class CacheWriter:
 
     Each :meth:`add` writes the cell's artifact side-file (if any) and
     atomically rewrites the manifest with ``status: "partial"``;
-    :meth:`finalize` flips the status to ``complete``.  A run killed at any
-    point therefore leaves a loadable partial entry.
+    :meth:`add_failure` records a permanently failed cell the same way;
+    :meth:`finalize` flips the status to ``complete`` (failures included — a
+    finalized-with-failures entry is a partial *result* the next run
+    retries).  A run killed at any point therefore leaves a loadable partial
+    entry.
+
+    Taking over a directory whose manifest exists but is unusable for this
+    spec and source state (corrupt, wrong hash, fingerprint-stale) moves its
+    files into ``.quarantine/`` first, so suspect payloads are preserved for
+    inspection instead of being overwritten in place.
     """
 
     def __init__(
-        self, cache: ResultCache, spec: ScenarioSpec, resumed: dict[str, CellResult]
+        self,
+        cache: ResultCache,
+        spec: ScenarioSpec,
+        resumed: dict[str, CellResult],
+        failures: tuple[CellFailure, ...] = (),
     ) -> None:
         self.cache = cache
         self.spec = spec
@@ -519,8 +662,22 @@ class CacheWriter:
         self.artifacts_written = 0
         self.bytes_written = 0
         self._records: dict[str, dict] = {}
+        self._failures: dict[str, dict] = {}
+        if (
+            not resumed
+            and (self.directory / _MANIFEST).exists()
+            and cache._read_manifest(spec) is None
+        ):
+            moved = _quarantine_entry(self.directory)
+            if moved:
+                logger.warning(
+                    "quarantined %d file(s) of unusable cache entry %s under %s/",
+                    moved, self.directory, _QUARANTINE,
+                )
         for key, row in resumed.items():
             self._records[key] = self._record(key, row)
+        for failure in failures:
+            self._failures[failure.key] = failure.to_dict()
 
     def add(self, key: str, row: CellResult, keep_in_memory: bool = False) -> CellResult:
         """Persist one completed cell; returns the row to hand back.
@@ -530,6 +687,7 @@ class CacheWriter:
         object on the row (the cache side-file is written either way).
         """
         stored = row
+        self._failures.pop(key, None)  # a computed cell supersedes its failure
         if row.artifact is not None and not isinstance(row.artifact, ArtifactRef):
             ref = write_artifact(row.artifact, self.directory, _artifact_stem(key))
             self.artifacts_written += 1
@@ -540,6 +698,22 @@ class CacheWriter:
             self._records[key] = self._record(key, row)
         self._write_manifest(status="partial")
         return stored
+
+    def add_failure(self, failure: CellFailure) -> None:
+        """Record one permanently failed cell in the manifest as it happens.
+
+        Like :meth:`add`, the manifest is rewritten immediately, so a run
+        killed after the failure still carries the record — a resumed run
+        replays it instead of blindly recomputing a cell that may hang again.
+        """
+        self._failures[failure.key] = failure.to_dict()
+        self._records.pop(failure.key, None)
+        self._write_manifest(status="partial")
+
+    @property
+    def failures(self) -> tuple[CellFailure, ...]:
+        """The failure records currently in the manifest."""
+        return tuple(CellFailure.from_dict(record) for record in self._failures.values())
 
     def finalize(self, elapsed_seconds: float) -> Path:
         self._write_manifest(status="complete", elapsed_seconds=elapsed_seconds)
@@ -564,6 +738,7 @@ class CacheWriter:
             "status": status,
             "elapsed_seconds": elapsed_seconds,
             "rows": list(self._records.values()),
+            "failures": list(self._failures.values()),
         }
         # The manifest is rewritten after every cell (that is what makes a
         # kill recoverable), so the streaming rewrites stay compact; only the

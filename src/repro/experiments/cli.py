@@ -7,6 +7,8 @@
     python -m repro.experiments validate scenarios/flash_crowd.json [...]
     python -m repro.experiments run fig4 [--jobs N] [--force] [--no-cache]
                                          [--cache-dir DIR] [--json]
+                                         [--cell-timeout S] [--retries N]
+                                         [--max-failures N]
                                          [--sim-backend {event,batched}]
     python -m repro.experiments run scenarios/flash_crowd.json [...]
     python -m repro.experiments sweep fig9 --populations 50,100,200
@@ -46,9 +48,22 @@ artifact-bearing cell (e.g. the Table-1 response-time distributions).
 ``cache`` inspects and maintains the on-disk run-directory store: ``ls``
 reports entry sizes and ages, ``rm`` drops every entry of one scenario, and
 ``gc`` prunes entries whose spec hash no longer matches the registered
-scenario, corrupt remnants, orphan side-files and (with ``--max-age-days``)
-old entries.  The cache lives in ``./.experiments-cache`` unless overridden
-by ``--cache-dir`` or the ``REPRO_EXPERIMENTS_CACHE`` environment variable.
+scenario, corrupt remnants, orphan side-files, quarantined payloads and
+(with ``--max-age-days``) old entries.  The cache lives in
+``./.experiments-cache`` unless overridden by ``--cache-dir`` or the
+``REPRO_EXPERIMENTS_CACHE`` environment variable.
+
+``run`` and ``sweep`` expose the supervision envelope of the runner (see
+:mod:`repro.experiments.supervision`): ``--cell-timeout`` kills a work
+unit's worker after that many wall-clock seconds per attempt, ``--retries``
+bounds the re-attempts of a crashed/hung/erroring unit, and
+``--max-failures`` is the budget of cells allowed to fail permanently before
+the run aborts.  **Exit-code contract**: ``0`` — every cell succeeded (fresh,
+resumed or cache-served); ``3`` — the run finished but some cells failed
+permanently within the ``--max-failures`` budget (a *partial result*; the
+completed rows are cached and printed, the failures are listed and recorded
+in the run manifest); ``1`` — the failure budget was exceeded and the run
+aborted (completed rows remain cached for resume); ``2`` — usage errors.
 """
 
 from __future__ import annotations
@@ -70,7 +85,8 @@ from repro.experiments.registry import (
     scenario_descriptions,
 )
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, FailureBudgetExceeded
+from repro.experiments.supervision import SupervisionPolicy
 from repro.experiments.spec import (
     SOLVER_KINDS,
     ScenarioSpec,
@@ -113,6 +129,20 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
     return value
 
 
@@ -160,6 +190,29 @@ def _add_runner_arguments(command) -> None:
         help="cache directory (default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
     )
     command.add_argument("--json", action="store_true", help="print the raw result JSON")
+    command.add_argument(
+        "--cell-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a work unit's worker after this many wall-clock seconds "
+        "per attempt (default: no timeout)",
+    )
+    command.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=None,
+        help="re-attempts of a crashed/hung/erroring work unit before it "
+        "becomes a permanent failure (default: 2)",
+    )
+    command.add_argument(
+        "--max-failures",
+        type=_nonnegative_int,
+        default=None,
+        help="cells allowed to fail permanently before the run aborts; "
+        "within the budget the run degrades to a partial result and exits 3 "
+        "(default: 0 — any permanent failure aborts)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -348,6 +401,37 @@ def _format_bytes(num_bytes: float) -> str:
     return f"{num_bytes:.1f} GiB"  # pragma: no cover - loop always returns
 
 
+def _supervision_from_args(args) -> SupervisionPolicy | None:
+    """A policy when any supervision flag was given, else ``None`` (defaults)."""
+    if args.cell_timeout is None and args.retries is None and args.max_failures is None:
+        return None
+    defaults = SupervisionPolicy()
+    return SupervisionPolicy(
+        cell_timeout=args.cell_timeout,
+        retries=args.retries if args.retries is not None else defaults.retries,
+        max_failures=(
+            args.max_failures if args.max_failures is not None else defaults.max_failures
+        ),
+    )
+
+
+def _print_failures(result: ExperimentResult) -> None:
+    if not result.failures:
+        return
+    print(f"--- failed cells ({len(result.failures)}) ---")
+    rows = [
+        (
+            failure.key,
+            failure.kind,
+            failure.attempts,
+            failure.message[:60] or "-",
+        )
+        for failure in result.failures
+    ]
+    print(format_table(["cell", "kind", "attempts", "message"], rows))
+    print()
+
+
 def _print_run_outcome(spec: ScenarioSpec, result: ExperimentResult, runner, cache_dir) -> None:
     source = "cache" if result.from_cache else f"computed in {result.elapsed_seconds:.1f}s"
     meta = result.meta
@@ -355,8 +439,15 @@ def _print_run_outcome(spec: ScenarioSpec, result: ExperimentResult, runner, cac
     if meta:
         accounting = (
             f"; {meta.get('cells_computed', 0)} computed, "
-            f"{meta.get('cells_from_cache', 0)} cached, "
-            f"{_format_bytes(meta.get('artifact_bytes_written', 0))} of artifacts written"
+            f"{meta.get('cells_from_cache', 0)} cached"
+        )
+        if meta.get("cells_failed") or meta.get("cells_retried"):
+            accounting += (
+                f", {meta.get('cells_failed', 0)} failed, "
+                f"{meta.get('cells_retried', 0)} retried"
+            )
+        accounting += (
+            f", {_format_bytes(meta.get('artifact_bytes_written', 0))} of artifacts written"
         )
     peak = max(
         (row.meta.get("peak_rss_mb", 0.0) for row in result.rows), default=0.0
@@ -366,6 +457,13 @@ def _print_run_outcome(spec: ScenarioSpec, result: ExperimentResult, runner, cac
     print(f"scenario {spec.name} [{spec.hash()}]: {len(result.rows)} cells ({source}{accounting})")
     print()
     _print_result(result)
+    _print_failures(result)
+    if result.failures:
+        print(
+            f"partial result: {len(result.failures)} cell(s) failed permanently "
+            "(recorded in the run manifest; re-running the scenario retries "
+            "exactly those cells)"
+        )
     if cache_dir is not None and not result.from_cache:
         print(f"cached at {runner.cache.path(spec)}")
 
@@ -404,13 +502,24 @@ def _cmd_run(args, spec) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    runner = ExperimentRunner(cache_dir=cache_dir, jobs=args.jobs)
-    result = runner.run(spec, force=args.force)
+    runner = ExperimentRunner(
+        cache_dir=cache_dir, jobs=args.jobs, supervision=_supervision_from_args(args)
+    )
+    try:
+        result = runner.run(spec, force=args.force)
+    except FailureBudgetExceeded as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "aborted: completed cells remain cached; re-running the scenario "
+            "resumes from them",
+            file=sys.stderr,
+        )
+        return 1
     if args.json:
         print(result.to_json())
     else:
         _print_run_outcome(spec, result, runner, cache_dir)
-    return 0
+    return 3 if result.failures else 0
 
 
 def build_sweep_spec(
@@ -482,17 +591,28 @@ def _cmd_sweep(args, base: ScenarioSpec) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    runner = ExperimentRunner(cache_dir=cache_dir, jobs=args.jobs)
-    results = [runner.run(spec, force=args.force) for spec in specs]
+    runner = ExperimentRunner(
+        cache_dir=cache_dir, jobs=args.jobs, supervision=_supervision_from_args(args)
+    )
+    try:
+        results = [runner.run(spec, force=args.force) for spec in specs]
+    except FailureBudgetExceeded as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "aborted: completed cells remain cached; re-running the sweep "
+            "resumes from them",
+            file=sys.stderr,
+        )
+        return 1
     if args.json:
         if len(results) == 1:
             print(results[0].to_json())
         else:
             print("[" + ",\n".join(result.to_json() for result in results) + "]")
-        return 0
-    for spec, result in zip(specs, results):
-        _print_run_outcome(spec, result, runner, cache_dir)
-    return 0
+    else:
+        for spec, result in zip(specs, results):
+            _print_run_outcome(spec, result, runner, cache_dir)
+    return 3 if any(result.failures for result in results) else 0
 
 
 def _metric_union(result: ExperimentResult) -> list[str]:

@@ -1,0 +1,122 @@
+"""Deterministic fault injection for the supervised runner.
+
+Chaos testing needs cells that fail *on demand and reproducibly* — a crash
+here, a hang there, a corrupt payload — without littering solver code with
+test hooks.  The environment variable ``REPRO_FAULT_INJECT`` carries a small
+spec the worker processes interpret just before executing a cell::
+
+    REPRO_FAULT_INJECT="crash:ctmc/*;hang:population=3;corrupt:mva:1"
+
+Grammar: ``;``-separated directives, each ``kind:pattern[:max_attempts]``.
+
+``kind``
+    ``crash`` — the worker dies via ``os._exit`` (simulates OOM kills /
+    segfaults), ``hang`` — the worker sleeps forever (simulates a stuck
+    scipy call; the supervisor's per-cell timeout reaps it), ``error`` —
+    the worker raises ``InjectedFault``, ``corrupt`` — the worker returns a
+    structurally broken payload the parent must reject.
+``pattern``
+    matched as a substring of the cell key
+    (``scenario/solver_label/params/repN``); ``*`` matches every cell.
+    Cell keys never contain ``:`` or ``;``, so the grammar is unambiguous.
+``max_attempts``
+    the directive only fires while the cell's attempt number (1-based) is
+    ``<= max_attempts``; omitted means *always*.  ``crash:mva:1`` therefore
+    means "the first attempt of every mva cell crashes, retries succeed" —
+    the shape retry-determinism tests rely on.
+
+Injection is deterministic by construction: whether a given (cell, attempt)
+fails is a pure function of the spec string, never of timing or randomness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_ENV",
+    "FAULT_KINDS",
+    "FaultDirective",
+    "InjectedFault",
+    "active_directives",
+    "matching_directive",
+    "parse_fault_spec",
+]
+
+#: Environment variable holding the fault-injection spec.
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+FAULT_KINDS = ("crash", "hang", "error", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an ``error`` directive inside the worker."""
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One parsed ``kind:pattern[:max_attempts]`` directive."""
+
+    kind: str
+    pattern: str
+    max_attempts: int | None = None
+
+    def matches(self, cell_key: str, attempt: int) -> bool:
+        """Whether this directive fires for the given cell and 1-based attempt."""
+        if self.max_attempts is not None and attempt > self.max_attempts:
+            return False
+        return self.pattern == "*" or self.pattern in cell_key
+
+
+def parse_fault_spec(spec: str) -> tuple[FaultDirective, ...]:
+    """Parse a ``REPRO_FAULT_INJECT`` spec string (raises on malformed input)."""
+    directives = []
+    for raw in spec.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        parts = raw.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"malformed fault directive {raw!r}; expected "
+                "kind:pattern[:max_attempts]"
+            )
+        kind, pattern = parts[0], parts[1]
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} in directive {raw!r}; expected "
+                f"one of {FAULT_KINDS}"
+            )
+        if not pattern:
+            raise ValueError(f"empty pattern in fault directive {raw!r}")
+        max_attempts: int | None = None
+        if len(parts) == 3:
+            try:
+                max_attempts = int(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"max_attempts must be an integer in directive {raw!r}"
+                ) from None
+            if max_attempts < 1:
+                raise ValueError(f"max_attempts must be >= 1 in directive {raw!r}")
+        directives.append(FaultDirective(kind=kind, pattern=pattern, max_attempts=max_attempts))
+    return tuple(directives)
+
+
+def active_directives() -> tuple[FaultDirective, ...]:
+    """Directives parsed from the environment (empty when unset)."""
+    spec = os.environ.get(FAULT_ENV, "")
+    if not spec:
+        return ()
+    return parse_fault_spec(spec)
+
+
+def matching_directive(
+    directives: tuple[FaultDirective, ...], cell_key: str, attempt: int
+) -> FaultDirective | None:
+    """First directive that fires for the cell at this attempt, if any."""
+    for directive in directives:
+        if directive.matches(cell_key, attempt):
+            return directive
+    return None

@@ -22,7 +22,12 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.experiments.spec import SOLVER_KINDS, ScenarioSpec, _WORKLOAD_KINDS
+from repro.experiments.spec import (
+    SOLVER_KINDS,
+    STATIONS as _STATIONS,
+    ScenarioSpec,
+    _WORKLOAD_KINDS,
+)
 
 __all__ = ["PACK_FORMAT", "PackValidationError", "load_pack", "validate_pack"]
 
@@ -77,11 +82,71 @@ def validate_pack(payload, source: str = "<pack>") -> None:
         segments = workload.get("segments")
         if not isinstance(segments, list) or not segments:
             _fail(source, "workload.segments: must be a non-empty array")
+        horizon = 0.0
+        any_segment_down = False
         for index, segment in enumerate(segments):
             if not isinstance(segment, dict):
                 _fail(source, f"workload.segments[{index}]: must be a JSON object")
             if "duration" not in segment:
                 _fail(source, f"workload.segments[{index}]: missing required key 'duration'")
+            duration = segment["duration"]
+            if not isinstance(duration, (int, float)) or isinstance(duration, bool) or duration <= 0:
+                _fail(
+                    source,
+                    f"workload.segments[{index}].duration: must be a positive "
+                    f"number, got {duration!r}",
+                )
+            horizon += float(duration)
+            down = segment.get("down") or []
+            if not isinstance(down, list):
+                _fail(source, f"workload.segments[{index}].down: must be an array of station names")
+            for j, station in enumerate(down):
+                if station not in _STATIONS:
+                    _fail(
+                        source,
+                        f"workload.segments[{index}].down[{j}]: unknown station "
+                        f"{station!r}; expected one of {_STATIONS}",
+                    )
+            any_segment_down = any_segment_down or bool(down)
+        outages = workload.get("outages") or []
+        if not isinstance(outages, list):
+            _fail(source, "workload.outages: must be an array of outage windows")
+        last_end: dict[str, tuple[int, float]] = {}
+        for original, station, start, duration in _sorted_windows(outages, source):
+            path = f"workload.outages[{original}]"
+            if station not in _STATIONS:
+                _fail(
+                    source,
+                    f"{path}.station: unknown station {station!r}; expected one "
+                    f"of {_STATIONS}",
+                )
+            if start < 0:
+                _fail(source, f"{path}.start: must be non-negative, got {start!r}")
+            if duration <= 0:
+                _fail(source, f"{path}.duration: must be positive, got {duration!r}")
+            if start + duration > horizon + 1e-9:
+                _fail(
+                    source,
+                    f"{path}: window [{start}, {start + duration}) ends past the "
+                    f"timeline horizon {horizon}",
+                )
+            if station in last_end and start < last_end[station][1] - 1e-12:
+                _fail(
+                    source,
+                    f"{path}: overlaps workload.outages[{last_end[station][0]}] "
+                    f"on station {station!r}",
+                )
+            last_end[station] = (original, start + duration)
+        if outages or any_segment_down:
+            for index, solver in enumerate(payload.get("solvers") or []):
+                if isinstance(solver, dict) and solver.get("kind") == "piecewise_ctmc":
+                    _fail(
+                        source,
+                        f"solvers[{index}].kind: piecewise_ctmc cannot solve hard "
+                        "outages (a down station has no steady state); use "
+                        "transient_ctmc or simulation, or model failures with "
+                        "mttf/mttr instead",
+                    )
     if kind in ("synthetic", "timevarying"):
         front = workload.get("front")
         if not isinstance(front, dict) or "family" not in front:
@@ -114,6 +179,27 @@ def validate_pack(payload, source: str = "<pack>") -> None:
         ScenarioSpec.from_dict({k: v for k, v in payload.items() if k != "format"})
     except (KeyError, TypeError, ValueError) as error:
         _fail(source, f"invalid scenario: {error}")
+
+
+def _sorted_windows(outages, source):
+    """Shape-check outage windows; yield ``(index, station, start, duration)``
+    sorted by start time (the order the per-station overlap scan needs)."""
+    windows = []
+    for index, window in enumerate(outages):
+        if not isinstance(window, dict):
+            _fail(source, f"workload.outages[{index}]: must be a JSON object")
+        for key in ("station", "start", "duration"):
+            if key not in window:
+                _fail(source, f"workload.outages[{index}]: missing required key {key!r}")
+        for key in ("start", "duration"):
+            value = window[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                _fail(
+                    source,
+                    f"workload.outages[{index}].{key}: must be a number, got {value!r}",
+                )
+        windows.append((index, window["station"], float(window["start"]), float(window["duration"])))
+    return sorted(windows, key=lambda w: w[2])
 
 
 def load_pack(path: str | Path) -> ScenarioSpec:

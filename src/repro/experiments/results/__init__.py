@@ -28,12 +28,13 @@ from repro.experiments.results.artifacts import (
     register_artifact_codec,
     write_artifact,
 )
-from repro.experiments.results.schema import CellResult, ExperimentResult
+from repro.experiments.results.schema import CellFailure, CellResult, ExperimentResult
 
 __all__ = [
     "ArtifactCodecError",
     "ArtifactIntegrityError",
     "ArtifactRef",
+    "CellFailure",
     "CellResult",
     "ExperimentResult",
     "JsonArtifactCodec",

@@ -25,7 +25,61 @@ from typing import Any
 
 from repro.experiments.results.artifacts import ArtifactRef
 
-__all__ = ["CellResult", "ExperimentResult"]
+__all__ = ["CellFailure", "CellResult", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell the supervised runner could not compute.
+
+    Produced by the supervision envelope after the cell exhausted its retry
+    budget: ``kind`` classifies what the last attempt did (``"crash"`` — the
+    worker process died, ``"timeout"`` — it exceeded the per-cell wall-clock
+    limit and was killed, ``"error"`` — it raised, ``"corrupt"`` — it
+    returned a payload that failed validation) and ``attempts`` counts how
+    many times the cell was tried.  Failures are recorded in the run
+    manifest next to the completed rows, so a later run (or ``resume``)
+    replays them from the manifest and retries exactly the failed cells —
+    whose seeds are derived from the cell key, making the eventual success
+    bit-identical to a run that never failed.
+
+    ``message`` and ``elapsed_seconds`` describe how the failure happened
+    and are excluded from equality, like :class:`CellResult`'s timing.
+    """
+
+    key: str
+    solver: str
+    kind: str
+    attempts: int
+    seed: int
+    replication: int
+    message: str = field(default="", compare=False)
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "solver": self.solver,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "seed": self.seed,
+            "replication": self.replication,
+            "message": self.message,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellFailure":
+        return cls(
+            key=payload["key"],
+            solver=payload["solver"],
+            kind=payload["kind"],
+            attempts=int(payload["attempts"]),
+            seed=int(payload["seed"]),
+            replication=int(payload["replication"]),
+            message=payload.get("message", ""),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -132,6 +186,10 @@ class ExperimentResult:
     elapsed_seconds: float = 0.0
     from_cache: bool = False
     meta: dict[str, Any] = field(default_factory=dict, compare=False)
+    #: Cells the supervised runner gave up on (retry budget exhausted) under
+    #: a ``max_failures`` budget; empty on fully successful runs.  Part of
+    #: equality: a partial result is not the same result as a complete one.
+    failures: tuple[CellFailure, ...] = ()
 
     # ------------------------------------------------------------------
     # Queries
@@ -230,6 +288,7 @@ class ExperimentResult:
             "elapsed_seconds": self.elapsed_seconds,
             "meta": dict(self.meta),
             "rows": [row.to_dict() for row in self.rows],
+            "failures": [failure.to_dict() for failure in self.failures],
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -245,6 +304,10 @@ class ExperimentResult:
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             from_cache=from_cache,
             meta=dict(payload.get("meta", {})),
+            failures=tuple(
+                CellFailure.from_dict(failure)
+                for failure in payload.get("failures", ())
+            ),
         )
 
     @classmethod

@@ -36,6 +36,7 @@ __all__ = [
     "TestbedWorkload",
     "EstimationSpec",
     "TraceWorkload",
+    "OutageWindow",
     "TimeVaryingSegment",
     "TimeVaryingWorkload",
     "SolverSpec",
@@ -235,6 +236,39 @@ class TraceWorkload:
         return {"trace": tuple(self.traces), "utilization": tuple(self.utilizations)}
 
 
+#: Stations a segment or outage window may refer to.
+STATIONS = ("front", "db")
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A hard server outage: ``station`` is down over ``[start, start+duration)``.
+
+    The window is laid over the segment timeline in absolute time — it may
+    start mid-segment and span segment boundaries; the resolved timeline is
+    split at the window edges.  While down, the station serves at rate zero
+    (its service MAP is frozen) and jobs keep queueing at it.
+    """
+
+    station: str
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.station not in STATIONS:
+            raise ValueError(
+                f"unknown outage station {self.station!r}; expected one of {STATIONS}"
+            )
+        if self.start < 0:
+            raise ValueError("outage start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("outage duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
 @dataclass(frozen=True)
 class TimeVaryingSegment:
     """One stationary segment of a time-varying workload timeline.
@@ -243,7 +277,9 @@ class TimeVaryingSegment:
     the workload-level baseline — a segment only states what *changes*: a
     flash crowd overrides ``population``, a server slowdown overrides
     ``db_mean``, a burstiness regime switch overrides ``db_decay`` /
-    ``db_scv``, and so on.
+    ``db_scv``, and so on.  ``down`` names stations that are hard-down for
+    the whole segment (``"front"`` / ``"db"``): they serve at rate zero while
+    jobs queue at them.
     """
 
     duration: float
@@ -253,6 +289,7 @@ class TimeVaryingSegment:
     db_mean: float | None = None
     db_scv: float | None = None
     db_decay: float | None = None
+    down: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -263,6 +300,15 @@ class TimeVaryingSegment:
                 raise ValueError(f"segment {name} must be positive when given")
         if self.population is not None and self.population < 1:
             raise ValueError("segment population must be >= 1 when given")
+        down = tuple(self.down)
+        object.__setattr__(self, "down", down)
+        for station in down:
+            if station not in STATIONS:
+                raise ValueError(
+                    f"unknown down station {station!r}; expected one of {STATIONS}"
+                )
+        if len(set(down)) != len(down):
+            raise ValueError(f"down stations must not repeat: {down}")
 
 
 @dataclass(frozen=True)
@@ -280,6 +326,17 @@ class TimeVaryingWorkload:
     All segments share the front :class:`MapSpec` and the database MAP(2)
     family, so service phases carry over regime switches (equal MAP orders
     by construction).
+
+    Failure modeling
+    ----------------
+    ``outages`` lays hard :class:`OutageWindow`\\ s over the timeline in
+    absolute time (the resolved timeline is split at window edges); segments
+    may equivalently mark themselves down via their ``down`` field.  The
+    ``*_mttf`` / ``*_mttr`` pairs instead model *random* exponential
+    failure–repair cycles by expanding the station's service MAP with an
+    up/down dimension (:func:`repro.maps.failures.expand_map_with_failures`)
+    — an ergodic model that every solver tier, including piecewise
+    stationary, supports.
     """
 
     front: MapSpec
@@ -289,6 +346,11 @@ class TimeVaryingWorkload:
     segments: tuple[TimeVaryingSegment, ...]
     db_scv: float = 1.0
     db_decay: float = 0.0
+    outages: tuple[OutageWindow, ...] = ()
+    front_mttf: float | None = None
+    front_mttr: float | None = None
+    db_mttf: float | None = None
+    db_mttr: float | None = None
 
     kind = "timevarying"
 
@@ -301,6 +363,34 @@ class TimeVaryingWorkload:
             raise ValueError("population must be >= 1")
         if not isinstance(self.segments, tuple) or not self.segments:
             raise ValueError("segments must be a non-empty tuple")
+        object.__setattr__(self, "outages", tuple(self.outages))
+        horizon = self.horizon
+        for station in STATIONS:
+            windows = sorted(
+                (w for w in self.outages if w.station == station),
+                key=lambda w: w.start,
+            )
+            for window in windows:
+                if window.end > horizon + 1e-9:
+                    raise ValueError(
+                        f"outage window on {station!r} ends at {window.end} "
+                        f"past the timeline horizon {horizon}"
+                    )
+            for left, right in zip(windows, windows[1:]):
+                if right.start < left.end - 1e-12:
+                    raise ValueError(
+                        f"outage windows on {station!r} overlap: "
+                        f"[{left.start}, {left.end}) and [{right.start}, {right.end})"
+                    )
+        for station in STATIONS:
+            mttf = getattr(self, f"{station}_mttf")
+            mttr = getattr(self, f"{station}_mttr")
+            if (mttf is None) != (mttr is None):
+                raise ValueError(
+                    f"{station}_mttf and {station}_mttr must be given together"
+                )
+            if mttf is not None and (mttf <= 0 or mttr <= 0):
+                raise ValueError(f"{station} mttf/mttr must be positive when given")
 
     def axes(self) -> dict[str, tuple]:
         return {}
@@ -312,11 +402,16 @@ class TimeVaryingWorkload:
 
     def resolved_segments(self):
         """The concrete :class:`~repro.queueing.transient.NetworkSegment`
-        timeline, with MAPs built and baseline fields filled in."""
+        timeline, with MAPs built, baseline fields filled in, MTTF/MTTR
+        failure–repair expansion applied, and outage windows overlaid
+        (splitting segments at window edges)."""
+        from repro.maps.failures import expand_map_with_failures
         from repro.maps.map2 import map2_from_moments_and_decay
         from repro.queueing.transient import NetworkSegment
 
         front = self.front.build()
+        if self.front_mttf is not None:
+            front = expand_map_with_failures(front, self.front_mttf, self.front_mttr)
         resolved = []
         for index, segment in enumerate(self.segments):
             db = map2_from_moments_and_decay(
@@ -324,6 +419,8 @@ class TimeVaryingWorkload:
                 self.db_scv if segment.db_scv is None else segment.db_scv,
                 self.db_decay if segment.db_decay is None else segment.db_decay,
             )
+            if self.db_mttf is not None:
+                db = expand_map_with_failures(db, self.db_mttf, self.db_mttr)
             resolved.append(
                 NetworkSegment(
                     duration=segment.duration,
@@ -336,9 +433,58 @@ class TimeVaryingWorkload:
                         self.population if segment.population is None else segment.population
                     ),
                     label=segment.label or f"segment{index}",
+                    front_up="front" not in segment.down,
+                    db_up="db" not in segment.down,
                 )
             )
+        return _overlay_outages(resolved, self.outages)
+
+
+def _overlay_outages(resolved, outages):
+    """Split a resolved timeline at outage-window edges and mark down spans.
+
+    With no windows the timeline is returned unchanged (bit-identical to the
+    pre-outage path).  Otherwise each interval between consecutive cut points
+    (segment boundaries ∪ window edges) inherits its owning segment's network
+    and adds the stations down at that time; interval membership is decided
+    at the interval midpoint so exact edge coincidences stay robust.
+    """
+    if not outages:
         return resolved
+    from bisect import bisect_right
+    from dataclasses import replace as dc_replace
+
+    starts = []
+    clock = 0.0
+    for segment in resolved:
+        starts.append(clock)
+        clock += segment.duration
+    horizon = clock
+    cuts = sorted(
+        set(starts)
+        | {horizon}
+        | {min(w.start, horizon) for w in outages}
+        | {min(w.end, horizon) for w in outages}
+    )
+    overlaid = []
+    for a, b in zip(cuts, cuts[1:]):
+        if b - a <= 1e-12:
+            continue
+        mid = 0.5 * (a + b)
+        base = resolved[bisect_right(starts, mid) - 1]
+        down = {w.station for w in outages if w.start <= mid < w.end}
+        front_up = base.front_up and "front" not in down
+        db_up = base.db_up and "db" not in down
+        label = base.label
+        if not (front_up and db_up):
+            stations = "+".join(
+                name for name, up in (("front", front_up), ("db", db_up)) if not up
+            )
+            label = f"{base.label}/down:{stations}"
+        overlaid.append(
+            dc_replace(base, duration=b - a, front_up=front_up, db_up=db_up, label=label)
+        )
+    return overlaid
 
 
 _WORKLOAD_KINDS = {
@@ -476,6 +622,10 @@ class ScenarioSpec:
             workload_payload["segments"] = tuple(
                 TimeVaryingSegment(**dict(segment))
                 for segment in payload["workload"]["segments"]
+            )
+            workload_payload["outages"] = tuple(
+                OutageWindow(**dict(window))
+                for window in payload["workload"].get("outages") or ()
             )
         if kind == "testbed" and workload_payload.get("estimation") is not None:
             workload_payload["estimation"] = EstimationSpec(**dict(payload["workload"]["estimation"]))

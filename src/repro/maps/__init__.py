@@ -22,6 +22,7 @@ from repro.maps.ph import (
     hyperexponential_ph,
     hyperexp_rates_from_moments,
 )
+from repro.maps.failures import expand_map_with_failures, frozen_map
 from repro.maps.map_process import MAP, validate_map
 from repro.maps.map2 import (
     map2_exponential,
@@ -41,6 +42,8 @@ __all__ = [
     "hyperexp_rates_from_moments",
     "MAP",
     "validate_map",
+    "expand_map_with_failures",
+    "frozen_map",
     "map2_exponential",
     "map2_from_ph_renewal",
     "map2_hyperexponential_renewal",

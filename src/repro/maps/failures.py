@@ -1,0 +1,78 @@
+"""Failure–repair expansion of service MAPs (active breakdowns).
+
+A station subject to random failures is modeled by expanding its service
+MAP with an up/down environment dimension: while *up* the station serves
+exactly as before and fails with rate ``1/mttf``; while *down* it serves
+nothing and is repaired with rate ``1/mttr``.  The expansion is an
+*active-breakdown* model — the failure clock only advances while the
+station is busy serving, because the service MAP of a closed
+queueing-network station only "runs" while customers are present (the
+Kronecker assembler freezes a station's phase process when its queue is
+empty).
+
+For a service MAP of order ``K`` the expanded process has order ``2K``:
+states ``0..K-1`` are the up copies, states ``K..2K-1`` the down copies.
+
+* up block of ``D0``: ``service.D0 - (1/mttf) I`` with ``(1/mttf) I`` in
+  the up→down block (phase is remembered across the outage),
+* down block of ``D0``: ``-(1/mttr) I`` on the diagonal with
+  ``(1/mttr) I`` in the down→up block,
+* ``D1``: the up block is ``service.D1``; down rows are zero — a down
+  station completes no service.
+
+The expanded pair still satisfies ``(D0 + D1) 1 = 0`` and is a valid
+(ergodic, for ``mttf, mttr`` finite and positive) MAP, so it flows through
+the existing Kronecker state space, solver tiers and simulators unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maps.map_process import MAP
+
+__all__ = ["expand_map_with_failures", "frozen_map"]
+
+
+def expand_map_with_failures(service: MAP, mttf: float, mttr: float) -> MAP:
+    """Return the order-``2K`` up/down expansion of ``service``.
+
+    ``mttf`` is the mean time to failure (while serving), ``mttr`` the mean
+    time to repair; both must be finite and strictly positive.  Failures are
+    exponential with rate ``1/mttf``, repairs exponential with rate
+    ``1/mttr``, and the service phase is preserved across an outage.
+    """
+    if not (np.isfinite(mttf) and mttf > 0.0):
+        raise ValueError(f"mttf must be finite and positive, got {mttf!r}")
+    if not (np.isfinite(mttr) and mttr > 0.0):
+        raise ValueError(f"mttr must be finite and positive, got {mttr!r}")
+    failure_rate = 1.0 / float(mttf)
+    repair_rate = 1.0 / float(mttr)
+    order = service.order
+    eye = np.eye(order)
+
+    D0 = np.zeros((2 * order, 2 * order))
+    D0[:order, :order] = service.D0 - failure_rate * eye
+    D0[:order, order:] = failure_rate * eye
+    D0[order:, order:] = -repair_rate * eye
+    D0[order:, :order] = repair_rate * eye
+
+    D1 = np.zeros((2 * order, 2 * order))
+    D1[:order, :order] = service.D1
+    return MAP(D0, D1)
+
+
+def frozen_map(order: int) -> MAP:
+    """An all-zero ``(D0, D1)`` pair of the given order: a hard-down station.
+
+    A zero generator has no transitions at all — the Kronecker assembler
+    emits only strictly-positive rates, so a station carrying a frozen MAP
+    neither completes service nor moves phase: jobs queue at it until the
+    next timeline segment swaps a live MAP back in.  The pair violates the
+    MAP ergodicity conventions (``-D0`` is singular), so validation is
+    bypassed; never ask a frozen MAP for its stationary quantities.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    zeros = np.zeros((order, order))
+    return MAP(zeros, zeros, _validate=False)

@@ -38,6 +38,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.maps.failures import frozen_map
 from repro.maps.map_process import MAP
 from repro.queueing.kron import NetworkStateSpace
 from repro.queueing.map_network import MapClosedNetworkSolver, MapNetworkResult
@@ -64,7 +65,15 @@ MAX_UNIFORMIZATION_TERMS = 200_000
 
 @dataclass(frozen=True)
 class NetworkSegment:
-    """One stationary segment of a time-varying closed MAP network."""
+    """One stationary segment of a time-varying closed MAP network.
+
+    ``front_up`` / ``db_up`` mark hard outages: a down station serves at
+    rate zero (its service MAP is frozen — no completions, no phase
+    transitions) while jobs keep queueing at it.  ``front`` / ``db`` always
+    hold the *healthy* service MAPs so phases and initial distributions stay
+    well-defined; solvers and simulators must use :meth:`effective_front` /
+    :meth:`effective_db` for the segment's actual dynamics.
+    """
 
     duration: float
     front: MAP
@@ -72,6 +81,8 @@ class NetworkSegment:
     think_time: float
     population: int
     label: str = ""
+    front_up: bool = True
+    db_up: bool = True
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -80,6 +91,18 @@ class NetworkSegment:
             raise ValueError("segment population must be >= 1")
         if self.think_time <= 0:
             raise ValueError("segment think_time must be positive")
+
+    @property
+    def has_outage(self) -> bool:
+        return not (self.front_up and self.db_up)
+
+    def effective_front(self) -> MAP:
+        """The front service MAP governing this segment (frozen when down)."""
+        return self.front if self.front_up else frozen_map(self.front.order)
+
+    def effective_db(self) -> MAP:
+        """The db service MAP governing this segment (frozen when down)."""
+        return self.db if self.db_up else frozen_map(self.db.order)
 
 
 def _require_equal_orders(segments: list[NetworkSegment] | tuple[NetworkSegment, ...]) -> None:
@@ -209,6 +232,8 @@ def _segment_key(segment: NetworkSegment) -> tuple:
         segment.db.D1.tobytes(),
         segment.think_time,
         segment.population,
+        segment.front_up,
+        segment.db_up,
     )
 
 
@@ -228,6 +253,14 @@ def solve_piecewise_stationary(
     """
     segments = list(segments)
     _require_equal_orders(segments)
+    for index, segment in enumerate(segments):
+        if segment.has_outage:
+            raise ValueError(
+                f"segment {index} ({segment.label or 'unlabelled'}) has a hard "
+                "outage: a down station has no steady state (jobs accumulate "
+                "until repair). Use solve_piecewise_transient or the "
+                "simulators for outage timelines."
+            )
     results: list[MapNetworkResult] = []
     solved: dict[tuple, tuple[NetworkStateSpace, np.ndarray, MapNetworkResult]] = {}
     previous: tuple[NetworkStateSpace, np.ndarray] | None = None
@@ -317,10 +350,18 @@ def solve_piecewise_transient(
     previous_space: NetworkStateSpace | None = None
     clock = 0.0
     for segment in segments:
-        solver = MapClosedNetworkSolver(segment.front, segment.db, segment.think_time)
+        # The effective solver (frozen MAPs during an outage) supplies the
+        # segment's generator and metrics; the initial distribution needs the
+        # healthy MAPs' embedded stationary phases, so it always comes from a
+        # solver over the true service processes (the state space is shared —
+        # it depends only on population and phase orders).
+        solver = MapClosedNetworkSolver(
+            segment.effective_front(), segment.effective_db(), segment.think_time
+        )
         space = solver.state_space(segment.population)
         if pi is None:
-            pi = solver.initial_distribution(space)
+            base = MapClosedNetworkSolver(segment.front, segment.db, segment.think_time)
+            pi = base.initial_distribution(space)
         elif previous_space is not None and previous_space.population != space.population:
             pi = remap_distribution(previous_space, pi, space)
         generator = solver._assembler.build(space)

@@ -12,7 +12,20 @@ trajectory semantics as the transient solver layer
   must use MAPs of equal orders),
 * population increases add customers to the think station,
 * population decreases drop the excess from the front queue first, then the
-  database queue.
+  database queue,
+* hard outages (``front_up`` / ``db_up`` false) freeze the down station: its
+  service rate is zero, its phase does not move, and jobs queue at it until
+  a later segment brings the station back.
+
+A segment in which *every* job is queued at a down station (and the other
+station is empty) is a deadlock — no jump can fire.  Both kernels detect the
+zero-total-rate state and advance the clock deterministically to the segment
+boundary (or the horizon): the scalar kernel consumes no draws for the jump
+it never samples, while the batched kernel keeps its lockstep per-column
+consumption (the deadlocked replication's draws are discarded exactly like a
+clamped step's).  No-outage timelines never hit either path, so their
+trajectories are bit-identical to what this module produced before outages
+existed.
 
 Segment boundaries
 ------------------
@@ -220,8 +233,15 @@ def simulate_timevarying_closed_map_network(
     K2 = segments[0].db.order
     params = []
     for segment in segments:
-        front_exit = (-np.diag(segment.front.D0)).tolist()
-        db_exit = (-np.diag(segment.db.D0)).tolist()
+        # A down station's exit rates are zero: it never wins the event race,
+        # so its (healthy-MAP) jump CDF is never consulted and its phase
+        # stays frozen through the outage.
+        front_exit = (
+            (-np.diag(segment.front.D0)).tolist() if segment.front_up else [0.0] * K1
+        )
+        db_exit = (
+            (-np.diag(segment.db.D0)).tolist() if segment.db_up else [0.0] * K2
+        )
         front_cdf = _scalar_jump_cdf(segment.front)
         db_cdf = _scalar_jump_cdf(segment.db)
         params.append(
@@ -273,6 +293,23 @@ def simulate_timevarying_closed_map_network(
         front_rate = front_exit[fp] if nf > 0 else 0.0
         db_rate = db_exit[dp] if ndb > 0 else 0.0
         total_rate = think_rate + front_rate + db_rate
+        if total_rate <= 0.0:
+            # Deadlock: every job is queued at a down station and the other
+            # station is empty.  No jump can fire, so the clock advances
+            # deterministically to the segment boundary, consuming no draws
+            # (there is no holding time to sample).
+            segment_end = float(boundaries[s])
+            _measure(clock, segment_end)
+            clock = segment_end
+            if s == num_segments - 1:
+                break
+            s += 1
+            excess = nf + ndb - params[s][0]
+            if excess > 0:
+                drop_front = min(nf, excess)
+                nf -= drop_front
+                ndb -= excess - drop_front
+            continue
         # A clamped step consumes exactly the draws of a regular step.
         dt = draws.exponential() / total_rate
         u = draws.uniform()
@@ -362,9 +399,17 @@ def simulate_timevarying_closed_map_network_batch(
     pop_table = np.array([float(segment.population) for segment in segments])
     pop_int = np.array([segment.population for segment in segments], dtype=np.int64)
     inv_think_table = np.array([1.0 / segment.think_time for segment in segments])
+    # Down stations get all-zero exit rates: they can never win the event
+    # race, so the (healthy-MAP) destination rows below stay untouched and
+    # phases freeze through the outage.
     exit_flat = np.concatenate(
         [
-            np.concatenate([-np.diag(s.front.D0), -np.diag(s.db.D0)])
+            np.concatenate(
+                [
+                    -np.diag(s.front.D0) if s.front_up else np.zeros(K1),
+                    -np.diag(s.db.D0) if s.db_up else np.zeros(K2),
+                ]
+            )
             for s in segments
         ]
     )
@@ -450,15 +495,22 @@ def simulate_timevarying_closed_map_network_batch(
             db_rate = np.take(exit_flat, base + dp) * (ndb > 0)
             through_front = think_rate + front_rate
             total_rate = through_front + db_rate
-            dt = exp_store[column, :R] / total_rate
+            # A deadlocked replication (every job queued at a down station)
+            # has total_rate == 0: dt = inf clamps it to its segment
+            # boundary, or — on the last segment — carries it past the
+            # horizon with no further transitions.  Its draws are consumed
+            # like a clamped step's (the lockstep seed policy).
+            alive = total_rate > 0.0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                dt = exp_store[column, :R] / total_rate
+            np.copyto(dt, np.inf, where=~alive)
             new_clock = clock + dt
             segment_end = np.take(boundaries, seg_idx)
             clamp = (new_clock >= segment_end) & (seg_idx < last_segment)
             clock = np.where(clamp, segment_end, new_clock)
             clock_buf[s] = clock
-            clamp_buf[s] = clamp
-            # Event resolution (clamped replications fire no transition but
-            # consumed their draws all the same — the seed policy).
+            # Event resolution (clamped and deadlocked replications fire no
+            # transition but consumed their draws all the same).
             u = event_store[column, :R] * total_rate
             past_think = u >= think_rate
             past_front = u >= through_front
@@ -467,7 +519,8 @@ def simulate_timevarying_closed_map_network_batch(
             jump = np.sum(rows <= dest_store[column, :R, None], axis=1)
             marked = jump >= KG
             dest = jump - marked * KG
-            apply = ~clamp
+            apply = ~clamp & alive
+            clamp_buf[s] = ~apply
             front_event = (past_think != past_front) & apply
             db_event = past_front & apply
             think_event = ~past_think & apply

@@ -159,7 +159,9 @@ class TestValidatePack:
     def test_rejects_invalid_deep_field(self):
         payload = _pack_payload(_spec())
         payload["workload"]["segments"][0]["duration"] = -5.0
-        with pytest.raises(PackValidationError, match="invalid scenario"):
+        with pytest.raises(
+            PackValidationError, match=r"segments\[0\].duration: must be a positive"
+        ):
             validate_pack(payload, source="x.json")
 
     def test_error_message_names_the_source(self):
@@ -244,3 +246,115 @@ class TestCli:
         path = _write_pack(tmp_path, _spec())
         assert main(["show", str(path)]) == 0
         assert "pack_test" in capsys.readouterr().out
+
+
+class TestOutageValidation:
+    """Validator hardening for outage windows and per-segment ``down`` lists."""
+
+    def _payload(self, outages=None, solvers=None, mutate_segment=None):
+        spec = _spec(solvers=solvers or (SolverSpec(kind="transient_ctmc"),))
+        payload = _pack_payload(spec)
+        if outages is not None:
+            payload["workload"]["outages"] = outages
+        if mutate_segment is not None:
+            mutate_segment(payload["workload"]["segments"])
+        return payload
+
+    def test_valid_outage_pack_passes(self):
+        payload = self._payload(
+            outages=[{"station": "db", "start": 10.0, "duration": 5.0}]
+        )
+        validate_pack(payload, source="x.json")
+        spec = ScenarioSpec.from_dict(
+            {key: value for key, value in payload.items() if key != "format"}
+        )
+        assert spec.workload.outages[0].station == "db"
+
+    def test_rejects_unknown_station(self):
+        payload = self._payload(
+            outages=[{"station": "cache", "start": 0.0, "duration": 5.0}]
+        )
+        with pytest.raises(
+            PackValidationError, match=r"outages\[0\].station: unknown station"
+        ):
+            validate_pack(payload, source="x.json")
+
+    def test_rejects_negative_start(self):
+        payload = self._payload(
+            outages=[{"station": "db", "start": -1.0, "duration": 5.0}]
+        )
+        with pytest.raises(
+            PackValidationError, match=r"outages\[0\].start: must be non-negative"
+        ):
+            validate_pack(payload, source="x.json")
+
+    def test_rejects_nonpositive_duration(self):
+        payload = self._payload(
+            outages=[{"station": "db", "start": 1.0, "duration": 0.0}]
+        )
+        with pytest.raises(
+            PackValidationError, match=r"outages\[0\].duration: must be positive"
+        ):
+            validate_pack(payload, source="x.json")
+
+    def test_rejects_window_past_horizon(self):
+        # Timeline horizon of the fixture is 60s (two 30s segments).
+        payload = self._payload(
+            outages=[{"station": "db", "start": 55.0, "duration": 20.0}]
+        )
+        with pytest.raises(PackValidationError, match="ends past the timeline horizon"):
+            validate_pack(payload, source="x.json")
+
+    def test_rejects_overlapping_windows_on_one_station(self):
+        payload = self._payload(outages=[
+            {"station": "db", "start": 5.0, "duration": 10.0},
+            {"station": "db", "start": 12.0, "duration": 5.0},
+        ])
+        with pytest.raises(PackValidationError, match="overlaps workload.outages"):
+            validate_pack(payload, source="x.json")
+
+    def test_same_window_on_both_stations_is_fine(self):
+        payload = self._payload(outages=[
+            {"station": "db", "start": 5.0, "duration": 10.0},
+            {"station": "front", "start": 5.0, "duration": 10.0},
+        ])
+        validate_pack(payload, source="x.json")
+
+    def test_rejects_missing_keys(self):
+        payload = self._payload(outages=[{"station": "db", "start": 5.0}])
+        with pytest.raises(
+            PackValidationError, match=r"outages\[0\]: missing required key"
+        ):
+            validate_pack(payload, source="x.json")
+
+    def test_rejects_piecewise_ctmc_with_outages(self):
+        payload = self._payload(
+            outages=[{"station": "db", "start": 10.0, "duration": 5.0}],
+            solvers=(SolverSpec(kind="piecewise_ctmc"),),
+        )
+        with pytest.raises(
+            PackValidationError, match="piecewise_ctmc cannot solve hard outages"
+        ):
+            validate_pack(payload, source="x.json")
+
+    def test_rejects_piecewise_ctmc_with_segment_down(self):
+        def mutate(segments):
+            segments[0]["down"] = ["db"]
+
+        payload = self._payload(
+            solvers=(SolverSpec(kind="piecewise_ctmc"),), mutate_segment=mutate
+        )
+        with pytest.raises(
+            PackValidationError, match="piecewise_ctmc cannot solve hard outages"
+        ):
+            validate_pack(payload, source="x.json")
+
+    def test_rejects_unknown_station_in_segment_down(self):
+        def mutate(segments):
+            segments[1]["down"] = ["db", "gpu"]
+
+        payload = self._payload(mutate_segment=mutate)
+        with pytest.raises(
+            PackValidationError, match=r"segments\[1\].down\[1\]: unknown station"
+        ):
+            validate_pack(payload, source="x.json")

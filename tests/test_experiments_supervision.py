@@ -1,0 +1,292 @@
+"""Fault-tolerant execution: fault grammar, retries, budget, resume, quarantine.
+
+Everything here drives *real* worker processes through the supervised runner
+with deterministic fault injection (``REPRO_FAULT_INJECT``): crashes are real
+``os._exit`` deaths, hangs are real sleeps reaped by the timeout, and the
+assertions pin the recovery contract — retried cells are bit-identical to a
+clean run, partial results degrade gracefully, recorded failures replay on
+resume without recompute, and the failure budget aborts with the manifest
+left in a resumable ``partial`` state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    FAULT_ENV,
+    ExperimentRunner,
+    ExperimentResult,
+    FailureBudgetExceeded,
+    MapSpec,
+    ReplicationPolicy,
+    ScenarioSpec,
+    SolverSpec,
+    SupervisionPolicy,
+    SyntheticWorkload,
+    parse_fault_spec,
+    run_scenario,
+)
+from repro.experiments.cli import main
+from repro.experiments.faults import (
+    FaultDirective,
+    active_directives,
+    matching_directive,
+)
+
+
+def small_spec(name="supervised_unit") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description="small analytic scenario for supervision tests",
+        workload=SyntheticWorkload(
+            front=MapSpec(family="exponential", mean=0.05),
+            db_mean=0.04,
+            db_scv=(4.0,),
+            db_decay=(0.5,),
+            think_time=0.5,
+            populations=(1, 3),
+        ),
+        solvers=(SolverSpec(kind="ctmc"), SolverSpec(kind="mva"), SolverSpec(kind="bounds")),
+        replication=ReplicationPolicy(base_seed=3),
+    )
+
+
+def fast_policy(**overrides) -> SupervisionPolicy:
+    fields = dict(retries=2, max_failures=0, backoff_base=0.001, backoff_cap=0.01)
+    fields.update(overrides)
+    return SupervisionPolicy(**fields)
+
+
+def rows_signature(result: ExperimentResult):
+    return [
+        (row.solver, tuple(sorted(row.params.items())), row.seed, row.metrics)
+        for row in result.rows
+    ]
+
+
+class TestFaultGrammar:
+    def test_parses_full_spec(self):
+        directives = parse_fault_spec("crash:ctmc/*;hang:population=3;corrupt:mva:1")
+        assert directives == (
+            FaultDirective(kind="crash", pattern="ctmc/*"),
+            FaultDirective(kind="hang", pattern="population=3"),
+            FaultDirective(kind="corrupt", pattern="mva", max_attempts=1),
+        )
+
+    def test_blank_segments_are_skipped(self):
+        assert len(parse_fault_spec("crash:x;;  ;error:y")) == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["crash", "boom:*", "crash::", "crash:x:0", "crash:x:first", "crash:x:1:2"],
+    )
+    def test_rejects_malformed_directives(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault_spec(spec)
+
+    def test_matching_semantics(self):
+        first_only = FaultDirective(kind="crash", pattern="mva", max_attempts=1)
+        assert first_only.matches("smoke/mva/population=1/rep0", attempt=1)
+        assert not first_only.matches("smoke/mva/population=1/rep0", attempt=2)
+        assert not first_only.matches("smoke/ctmc/population=1/rep0", attempt=1)
+        always = FaultDirective(kind="error", pattern="*")
+        assert always.matches("anything", attempt=99)
+        assert matching_directive((first_only, always), "smoke/ctmc/x/rep0", 1) is always
+
+    def test_active_directives_read_from_environment(self, monkeypatch):
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        assert active_directives() == ()
+        monkeypatch.setenv(FAULT_ENV, "error:mva")
+        assert active_directives() == (FaultDirective(kind="error", pattern="mva"),)
+
+
+class TestRetryRecovery:
+    def test_error_on_first_attempt_retries_to_identical_result(
+        self, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        clean = run_scenario(spec, cache_dir=tmp_path / "clean", jobs=1)
+        monkeypatch.setenv(FAULT_ENV, "error:mva:1")
+        chaos = run_scenario(
+            spec,
+            cache_dir=tmp_path / "chaos",
+            jobs=1,
+            supervision=fast_policy(retries=2),
+        )
+        assert chaos.failures == ()
+        assert chaos.meta["cells_retried"] >= 2  # both mva cells failed once
+        assert rows_signature(chaos) == rows_signature(clean)
+
+    def test_crash_on_first_attempt_is_survived(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        monkeypatch.setenv(FAULT_ENV, "crash:ctmc:1")
+        result = run_scenario(
+            spec, cache_dir=tmp_path, jobs=2, supervision=fast_policy(retries=1)
+        )
+        assert result.failures == ()
+        assert result.meta["cells_retried"] >= 2
+        assert len(result.rows) == 6
+
+    def test_timeout_reaps_hung_worker_then_retry_succeeds(
+        self, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        monkeypatch.setenv(FAULT_ENV, "hang:bounds:1")
+        result = run_scenario(
+            spec,
+            cache_dir=tmp_path,
+            jobs=2,
+            supervision=fast_policy(cell_timeout=0.75, retries=1),
+        )
+        assert result.failures == ()
+        assert result.meta["cells_retried"] >= 2
+        assert len(result.rows) == 6
+
+
+class TestPartialResults:
+    def test_persistent_error_degrades_to_partial_result(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        monkeypatch.setenv(FAULT_ENV, "error:mva")
+        result = run_scenario(
+            spec,
+            cache_dir=tmp_path,
+            jobs=1,
+            supervision=fast_policy(retries=1, max_failures=10),
+        )
+        assert len(result.rows) == 4  # everything except the two mva cells
+        assert len(result.failures) == 2
+        assert all(f.kind == "error" for f in result.failures)
+        assert all(f.attempts == 2 for f in result.failures)
+        assert all("mva" in f.key for f in result.failures)
+        assert result.meta["cells_failed"] == 2
+
+    def test_corrupt_payload_is_rejected_as_typed_failure(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        monkeypatch.setenv(FAULT_ENV, "corrupt:bounds")
+        result = run_scenario(
+            spec,
+            cache_dir=tmp_path,
+            jobs=1,
+            supervision=fast_policy(retries=0, max_failures=10),
+        )
+        assert len(result.failures) == 2
+        assert all(f.kind == "corrupt" for f in result.failures)
+
+    def test_complete_with_failures_retries_failed_cells_on_rerun(
+        self, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        monkeypatch.setenv(FAULT_ENV, "error:mva")
+        partial = run_scenario(
+            spec,
+            cache_dir=tmp_path,
+            jobs=1,
+            supervision=fast_policy(retries=0, max_failures=10),
+        )
+        assert partial.failures
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        recovered = run_scenario(spec, cache_dir=tmp_path, jobs=1)
+        assert recovered.failures == ()
+        assert len(recovered.rows) == 6
+        # Only the previously-failed cells were recomputed.
+        assert recovered.meta["cells_computed"] == 2
+        assert recovered.meta["cells_from_cache"] == 4
+        clean = run_scenario(spec, cache_dir=tmp_path / "fresh", jobs=1)
+        assert rows_signature(recovered) == rows_signature(clean)
+
+
+class TestFailureBudget:
+    def test_exhausted_budget_aborts_with_resumable_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        monkeypatch.setenv(FAULT_ENV, "error:mva")
+        runner = ExperimentRunner(
+            cache_dir=tmp_path, jobs=1, supervision=fast_policy(retries=0, max_failures=0)
+        )
+        with pytest.raises(FailureBudgetExceeded) as excinfo:
+            runner.run(spec)
+        assert excinfo.value.failures
+        manifest = json.loads(runner.cache.manifest_path(spec).read_text())
+        assert manifest["status"] == "partial"
+        assert manifest["failures"]
+        assert manifest["failures"][0]["kind"] == "error"
+
+    def test_partial_manifest_replays_failures_without_recompute(
+        self, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        monkeypatch.setenv(FAULT_ENV, "error:mva")
+        runner = ExperimentRunner(
+            cache_dir=tmp_path, jobs=1, supervision=fast_policy(retries=0, max_failures=0)
+        )
+        with pytest.raises(FailureBudgetExceeded):
+            runner.run(spec)
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        # Second run: the recorded failure replays from the manifest (the
+        # partial run cannot vouch the cell would now succeed), the rest of
+        # the grid completes.
+        replay = run_scenario(spec, cache_dir=tmp_path, jobs=1)
+        assert len(replay.failures) == 1
+        assert replay.meta["cells_retried"] == 0
+        # Third run: the entry is complete-with-failures, so the failed cell
+        # is finally retried — and now converges.
+        final = run_scenario(spec, cache_dir=tmp_path, jobs=1)
+        assert final.failures == ()
+        assert len(final.rows) == 6
+        cached = run_scenario(spec, cache_dir=tmp_path, jobs=1)
+        assert cached.from_cache
+
+
+class TestQuarantine:
+    def test_stale_manifest_is_quarantined_then_gc_pruned(self, tmp_path):
+        spec = small_spec()
+        runner = ExperimentRunner(cache_dir=tmp_path, jobs=1)
+        runner.run(spec)
+        manifest_path = runner.cache.manifest_path(spec)
+        manifest = json.loads(manifest_path.read_text())
+        manifest["code_fingerprint"] = "0" * 16  # simulate a stale entry
+        manifest_path.write_text(json.dumps(manifest))
+
+        fresh = runner.run(spec)
+        assert not fresh.from_cache
+        quarantine = runner.cache.path(spec) / ".quarantine"
+        assert quarantine.is_dir()
+        assert (quarantine / "manifest.json").exists()
+
+        report = runner.cache.gc()
+        assert report.removed_orphans >= 1
+        assert not quarantine.exists()
+        # The rebuilt entry itself survives gc and still serves.
+        assert runner.run(spec).from_cache
+
+
+class TestCliContract:
+    def test_exit_codes_partial_then_recovered(self, tmp_path, monkeypatch, capsys):
+        cache = str(tmp_path)
+        monkeypatch.setenv(FAULT_ENV, "error:mva")
+        code = main(
+            ["run", "smoke", "--cache-dir", cache, "--jobs", "1",
+             "--retries", "0", "--max-failures", "10"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "failed" in out
+        assert "error" in out  # failure table names the fault kind
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        assert main(["run", "smoke", "--cache-dir", cache, "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "failed" not in out
+
+    def test_exit_code_abort_on_budget(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(FAULT_ENV, "error:mva")
+        code = main(
+            ["run", "smoke", "--cache-dir", str(tmp_path), "--jobs", "1",
+             "--retries", "0", "--max-failures", "0"]
+        )
+        assert code == 1
+        assert "failure budget" in capsys.readouterr().err.lower()

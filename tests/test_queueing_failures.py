@@ -1,0 +1,111 @@
+"""Failure–repair MAP expansion and frozen (hard-down) service processes.
+
+The active-breakdown expansion (:mod:`repro.maps.failures`) is the soft
+failure model of the engine: a station's service MAP grows an up/down
+environment dimension (order ``K`` → ``2K``) and flows through the existing
+solvers and simulators as an ordinary — larger — MAP.  This suite pins the
+structural invariants of the expansion (valid generator pair, block layout,
+phase preservation), its limiting behavior (rare failures ≈ the healthy
+process; long repairs strangle throughput), and the frozen all-zero MAP used
+for hard outage segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import (
+    expand_map_with_failures,
+    frozen_map,
+    map2_exponential,
+    map2_from_moments_and_decay,
+)
+from repro.maps.map_process import validate_map
+from repro.queueing import solve_map_closed_network
+
+THINK = 0.5
+
+
+def _db(mean=0.04, scv=4.0, decay=0.5):
+    return map2_from_moments_and_decay(mean, scv, decay)
+
+
+class TestExpansionStructure:
+    def test_expanded_pair_is_a_valid_map(self):
+        expanded = expand_map_with_failures(_db(), mttf=5.0, mttr=0.5)
+        # Construction already validates; re-check explicitly.
+        validate_map(expanded.D0, expanded.D1)
+        assert expanded.order == 2 * _db().order
+
+    def test_block_layout(self):
+        service = _db()
+        mttf, mttr = 4.0, 0.25
+        expanded = expand_map_with_failures(service, mttf=mttf, mttr=mttr)
+        K = service.order
+        eye = np.eye(K)
+        np.testing.assert_allclose(
+            expanded.D0[:K, :K], service.D0 - eye / mttf
+        )
+        np.testing.assert_allclose(expanded.D0[:K, K:], eye / mttf)
+        np.testing.assert_allclose(expanded.D0[K:, K:], -eye / mttr)
+        np.testing.assert_allclose(expanded.D0[K:, :K], eye / mttr)
+        np.testing.assert_allclose(expanded.D1[:K, :K], service.D1)
+        # A down station completes no service.
+        assert not expanded.D1[K:, :].any()
+
+    def test_rejects_nonpositive_and_infinite_rates(self):
+        service = _db()
+        for mttf, mttr in ((0.0, 1.0), (1.0, 0.0), (-2.0, 1.0), (np.inf, 1.0)):
+            with pytest.raises(ValueError):
+                expand_map_with_failures(service, mttf=mttf, mttr=mttr)
+
+    def test_exponential_service_expansion_mean_interarrival(self):
+        # For exponential service (rate mu) with breakdowns, the long-run
+        # completion rate while busy is mu * availability where availability
+        # is the fraction of busy time spent up.  The expanded MAP's
+        # fundamental rate must be strictly below mu and approach mu as
+        # failures become rare.
+        mu = 1.0 / 0.04
+        service = map2_exponential(0.04)
+        rare = expand_map_with_failures(service, mttf=1e6, mttr=0.5)
+        assert rare.fundamental_rate == pytest.approx(mu, rel=1e-4)
+        frequent = expand_map_with_failures(service, mttf=0.5, mttr=0.5)
+        assert frequent.fundamental_rate < 0.6 * mu
+
+
+class TestNetworkLevelBehavior:
+    def test_rare_failures_match_healthy_network(self):
+        front, db = map2_exponential(0.05), _db()
+        healthy = solve_map_closed_network(front, db, THINK, 4)
+        expanded = expand_map_with_failures(db, mttf=1e7, mttr=0.1)
+        degraded = solve_map_closed_network(front, expanded, THINK, 4)
+        assert degraded.throughput == pytest.approx(healthy.throughput, rel=1e-4)
+
+    def test_failures_reduce_throughput_monotonically(self):
+        front, db = map2_exponential(0.05), _db()
+        throughputs = []
+        for mttf in (100.0, 5.0, 1.0):
+            expanded = expand_map_with_failures(db, mttf=mttf, mttr=0.5)
+            throughputs.append(
+                solve_map_closed_network(front, expanded, THINK, 4).throughput
+            )
+        assert throughputs[0] > throughputs[1] > throughputs[2]
+
+
+class TestFrozenMap:
+    def test_all_zero_blocks(self):
+        frozen = frozen_map(3)
+        assert frozen.order == 3
+        assert not frozen.D0.any() and not frozen.D1.any()
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            frozen_map(0)
+
+    def test_emits_no_events(self):
+        # No exit rates at all: a down station neither completes service nor
+        # moves phase, so the Kronecker assembler (which only emits strictly
+        # positive rates) generates no transitions for it.
+        frozen = frozen_map(2)
+        assert float(np.abs(frozen.D0).sum() + np.abs(frozen.D1).sum()) == 0.0
