@@ -37,7 +37,9 @@ and UTC date, so the perf trend across PRs stays visible in one file.
 compared against the newest history entry *from a comparable environment*
 (same python major.minor and machine — wall-clock gates across machine
 classes only produce noise) on the overlapping metrics (``exact_solve``
-populations present in both, the ``generator_build`` Kronecker time), and
+populations present in both, their Krylov iteration counts — a
+deterministic canary for preconditioner regressions that wall-clock noise
+would hide — and the ``generator_build`` Kronecker time), and
 the script exits non-zero when any of them regressed by more than
 ``--gate-threshold`` (default 25%).  A gate-failing run is *not* appended to
 the trajectory — a rerun would otherwise compare the regression against
@@ -126,8 +128,10 @@ started = time.perf_counter()
 result = solver.solve(population)
 elapsed = time.perf_counter() - started
 # Read the high-water mark *before* building the accounting operator, so the
-# recorded footprint is the solve's alone.
-peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+# recorded footprint is the solve's alone.  ru_maxrss is KiB on Linux but
+# bytes on macOS (same quirk as repro.experiments.solvers._peak_rss_mb).
+peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+peak_rss_mb = peak / (1024.0 * 1024.0) if sys.platform == "darwin" else peak / 1024.0
 operator = solver._assembler.operator(solver.state_space(population))
 print(json.dumps({
     "population": population,
@@ -135,6 +139,8 @@ print(json.dumps({
     "seconds": elapsed,
     "throughput": result.throughput,
     "solver_tier": result.solver_tier,
+    "krylov_iterations": result.krylov_iterations,
+    "precond_setup_seconds": result.precond_setup_seconds,
     "peak_rss_mb": peak_rss_mb,
     "materialized_estimate_mb": operator.materialized_bytes_estimate() / 1e6,
 }))
@@ -354,6 +360,11 @@ def history_entry(document: dict, sha: str) -> dict:
         "exact_solve": {
             str(row["population"]): row["seconds"] for row in results["exact_solve"]
         },
+        "exact_solve_iterations": {
+            str(row["population"]): row["krylov_iterations"]
+            for row in results["exact_solve"]
+            if row.get("krylov_iterations") is not None
+        },
         "sweep_seconds": results["sweep"]["seconds"],
         "simulation_rate": results["simulation"]["completions_per_second"],
         "sim_loop": {
@@ -414,8 +425,12 @@ def check_regressions(
     Gated metrics: ``generator_build`` Kronecker assembly time, every
     ``exact_solve`` population present in *both* entries (quick and full
     grids overlap at N=100, so CI quick runs gate against committed full
-    runs too), and both kernels' seconds of every ``sim_loop`` rung present
-    in both entries (the grids overlap at R64).
+    runs too), the Krylov iteration count of every such population that
+    recorded one in both entries (iteration counts are deterministic, so
+    this catches preconditioner-quality regressions that wall-clock noise
+    would hide — the quick grid's N=100 runs the ILU'd BiCGSTAB), and both
+    kernels' seconds of every ``sim_loop`` rung present in both entries
+    (the grids overlap at R64).
     """
     messages = []
 
@@ -424,6 +439,16 @@ def check_regressions(
             messages.append(
                 f"{label}: {current:.4f}s vs {previous:.4f}s "
                 f"(+{(current / previous - 1.0) * 100.0:.0f}%, gate {threshold * 100:.0f}%)"
+            )
+
+    def compare_iterations(label: str, current: int, previous: int) -> None:
+        # Integer counts at small values need absolute slack: 10 -> 12 is
+        # within solver jitter across scipy versions, 10 -> 14 is not.
+        allowed = previous + max(2, round(previous * threshold))
+        if current > allowed:
+            messages.append(
+                f"{label}: {current} iterations vs {previous} "
+                f"(gate {threshold * 100:.0f}% + 2)"
             )
 
     compare(
@@ -436,6 +461,14 @@ def check_regressions(
         if population in baseline_solves:
             compare(
                 f"exact_solve[N={population}]", seconds, baseline_solves[population]
+            )
+    baseline_iterations = baseline.get("exact_solve_iterations", {})
+    for population, iterations in entry.get("exact_solve_iterations", {}).items():
+        if population in baseline_iterations:
+            compare_iterations(
+                f"exact_solve_iterations[N={population}]",
+                iterations,
+                baseline_iterations[population],
             )
     baseline_sim_loop = baseline.get("sim_loop", {})
     for key, point in entry.get("sim_loop", {}).items():
@@ -504,9 +537,11 @@ def main(argv=None) -> int:
         f"({build['speedup']:.1f}x)"
     )
     for row in document["results"]["exact_solve"]:
+        iterations = row.get("krylov_iterations")
+        iteration_note = f", {iterations} Krylov iters" if iterations is not None else ""
         print(
             f"exact solve N={row['population']}: {row['seconds']:.2f}s "
-            f"({row['num_states']} states, {row['solver_tier']}, "
+            f"({row['num_states']} states, {row['solver_tier']}{iteration_note}, "
             f"peak {row['peak_rss_mb']:.0f} MB vs ~{row['materialized_estimate_mb']:.0f} MB materialized)"
         )
     sweep = document["results"]["sweep"]

@@ -42,6 +42,7 @@ into whole-grid-point batches for :func:`execute_simulation_group`.
 from __future__ import annotations
 
 import resource
+import sys
 import time
 from functools import lru_cache
 
@@ -71,8 +72,16 @@ DEFAULT_SIM_WARMUP = 200.0
 
 
 def _peak_rss_mb() -> float:
-    """Peak resident set of this process, in MiB (Linux reports KiB)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    """Peak resident set of this process, in MiB.
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux but in *bytes* on
+    macOS (the BSD heritage), so the divisor is platform-dependent — without
+    it a Mac run would report memory inflated by 1024x.
+    """
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
 
 def execute_cell(spec: ScenarioSpec, cell: Cell) -> CellResult:
@@ -319,10 +328,24 @@ def _execute_synthetic(spec: ScenarioSpec, cell: Cell):
     if cell.solver_kind == "ctmc":
         # The ``tier`` option forces a steady-state solver tier (``direct``,
         # ``ilu_krylov``, ``matrix_free``); default is size-based selection.
+        # ``cascade`` engages the cascadic coarse-to-fine warm start of
+        # matrix-free solves (it is part of the spec hash, so cached cells
+        # solved with and without it never alias).
         tier = cell.options.get("tier")
+        cascade = bool(cell.options.get("cascade", False))
         result = MapClosedNetworkSolver(front, db, think).solve(
-            population, tier=tier if tier is None else str(tier)
+            population, tier=tier if tier is None else str(tier), cascade=cascade
         )
+        meta: dict = {"solver_tier": result.solver_tier}
+        if cascade:
+            meta["cascade"] = True
+            meta["cascade_ladder"] = [int(rung) for rung in result.cascade_ladder]
+        if result.krylov_iterations is not None:
+            meta["krylov_iterations"] = int(result.krylov_iterations)
+        if result.precond_setup_seconds is not None:
+            meta["precond_setup_seconds"] = round(result.precond_setup_seconds, 3)
+        if result.solver_attempts:
+            meta["solver_attempts"] = [dict(a) for a in result.solver_attempts]
         return (
             {
                 "throughput": result.throughput,
@@ -334,7 +357,7 @@ def _execute_synthetic(spec: ScenarioSpec, cell: Cell):
                 "num_states": result.num_states,
             },
             None,
-            {"solver_tier": result.solver_tier},
+            meta,
         )
     if cell.solver_kind == "mva":
         demands = [front.mean(), workload.db_mean]

@@ -10,8 +10,11 @@
 * :mod:`~repro.queueing.kron` — Kronecker-structured state enumeration and
   vectorised generator assembly behind the exact solver.
 * :mod:`~repro.queueing.kron_operator` — matrix-free application of the
-  generator (and its level-sweep / two-level preconditioners) for state
+  generator (and its level-sweep / multilevel preconditioners) for state
   spaces too large to materialize.
+* :mod:`~repro.queueing.multilevel` — the recursive phase-preserving
+  Galerkin hierarchy on the coarsened ``(n_front, n_db)`` lattice behind
+  the matrix-free tier's coarse correction.
 * :mod:`~repro.queueing.ctmc` — sparse continuous-time Markov chain
   utilities shared by the solvers, including the size-aware solver-tier
   selection (``direct`` / ``ilu_krylov`` / ``matrix_free``).
@@ -40,8 +43,10 @@ from repro.queueing.kron import (
 from repro.queueing.kron_operator import (
     LevelSweepPreconditioner,
     MatrixFreeGenerator,
+    MultilevelPreconditioner,
     TwoLevelPreconditioner,
 )
+from repro.queueing.multilevel import LatticeHierarchy
 from repro.queueing.map_network import (
     MapNetworkResult,
     solve_map_closed_network,
@@ -81,7 +86,9 @@ __all__ = [
     "embed_distribution",
     "LevelSweepPreconditioner",
     "MatrixFreeGenerator",
+    "MultilevelPreconditioner",
     "TwoLevelPreconditioner",
+    "LatticeHierarchy",
     "MapNetworkResult",
     "solve_map_closed_network",
     "MapClosedNetworkSolver",

@@ -32,12 +32,19 @@ from the state count; the ``REPRO_SOLVER_TIER`` environment variable or the
 Every candidate solution is validated against the residual ``max |pi Q|``
 before it is accepted; failures are logged and the next strategy is tried,
 ending with uniformised power iteration as the last resort.
+
+Both entry points accept an optional :class:`SolveStats` sink that records,
+per strategy attempted, the wall-clock seconds and Krylov iteration count —
+iteration counts are machine-independent, which is what lets the benchmark
+trajectory gate on them alongside wall clock.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import os
+import time
 import warnings
 
 import numpy as np
@@ -46,11 +53,15 @@ import scipy.sparse.linalg as sparse_linalg
 
 __all__ = [
     "SparseGeneratorBuilder",
+    "SolveAttempt",
+    "SolveStats",
     "assemble_generator",
     "steady_state_distribution",
     "steady_state_matrix_free",
     "choose_solver_tier",
     "SOLVER_TIERS",
+    "MATERIALIZED_STRATEGIES",
+    "MATRIX_FREE_STRATEGIES",
     "DIRECT_SOLVE_STATE_LIMIT",
     "MATERIALIZED_STATE_LIMIT",
     "TIER_ENV_VAR",
@@ -76,6 +87,59 @@ SOLVER_TIERS = ("direct", "ilu_krylov", "matrix_free")
 #: Environment variable forcing a tier (same values as :data:`SOLVER_TIERS`,
 #: or ``auto``/empty for the size-based default).
 TIER_ENV_VAR = "REPRO_SOLVER_TIER"
+
+#: Strategies :func:`steady_state_distribution` accepts for ``prefer=``.
+MATERIALIZED_STRATEGIES = ("direct", "ilu_krylov", "power")
+
+#: Strategies :func:`steady_state_matrix_free` accepts for ``prefer=``.
+MATRIX_FREE_STRATEGIES = ("bicgstab", "gmres", "power")
+
+
+def _validate_prefer(prefer: str | None, allowed: tuple[str, ...]) -> str | None:
+    """Shared ``prefer=`` validation for both solver entry points."""
+    if prefer is not None and prefer not in allowed:
+        raise ValueError(
+            f"unknown solver strategy {prefer!r}; expected one of {allowed}"
+        )
+    return prefer
+
+
+@dataclasses.dataclass
+class SolveAttempt:
+    """One solver strategy attempt: what ran, for how long, with what outcome."""
+
+    strategy: str
+    seconds: float
+    #: Krylov iterations consumed by the attempt (BiCGSTAB iterations, or
+    #: GMRES inner iterations); ``None`` for non-Krylov strategies.
+    iterations: int | None = None
+    #: Whether this attempt produced the distribution that was returned.
+    accepted: bool = False
+
+
+@dataclasses.dataclass
+class SolveStats:
+    """Mutable sink for per-solve instrumentation.
+
+    Pass an instance as the ``stats=`` keyword of
+    :func:`steady_state_distribution` or :func:`steady_state_matrix_free`;
+    the solver fills it in place (the return value stays a bare
+    distribution, so no caller changes are forced).
+    """
+
+    #: Seconds spent building the preconditioner (ILU factorisation, or the
+    #: multilevel lattice hierarchy); ``None`` if no preconditioner was built.
+    precond_setup_seconds: float | None = None
+    attempts: list[SolveAttempt] = dataclasses.field(default_factory=list)
+
+    @property
+    def krylov_iterations(self) -> int | None:
+        """Total Krylov iterations across all attempts; ``None`` if none ran."""
+        counts = [a.iterations for a in self.attempts if a.iterations is not None]
+        return sum(counts) if counts else None
+
+    def _record_setup(self, seconds: float) -> None:
+        self.precond_setup_seconds = (self.precond_setup_seconds or 0.0) + seconds
 
 
 def choose_solver_tier(num_states: int, override: str | None = None) -> str:
@@ -208,8 +272,28 @@ def _direct_solve(A, b) -> np.ndarray:
         return sparse_linalg.spsolve(A, b)
 
 
-def _ilu_krylov_solve(A, b, initial_guess) -> np.ndarray:
-    """ILU-preconditioned BiCGSTAB with a GMRES retry on stagnation."""
+def _iteration_counter(counter: list[int]):
+    """scipy callback that bumps ``counter[0]`` once per (inner) iteration.
+
+    ``bicgstab`` invokes ``callback(xk)`` once per iteration;  ``gmres`` with
+    ``callback_type="pr_norm"`` invokes it once per *inner* iteration — both
+    give the machine-independent work count the benchmark trajectory gates on.
+    """
+
+    def callback(_arg) -> None:
+        counter[0] += 1
+
+    return callback
+
+
+def _ilu_krylov_solve(A, b, initial_guess, counter, stats=None) -> np.ndarray:
+    """ILU-preconditioned BiCGSTAB with a GMRES retry on stagnation.
+
+    ``counter`` is a one-element list accumulating Krylov iterations — it is
+    read by the caller even when this function raises, so iterations burnt by
+    a failed attempt still show up in the stats.
+    """
+    setup_start = time.perf_counter()
     ilu = sparse_linalg.spilu(
         A,
         drop_tol=_ILU_DROP_TOL,
@@ -217,9 +301,12 @@ def _ilu_krylov_solve(A, b, initial_guess) -> np.ndarray:
         permc_spec="NATURAL",
         diag_pivot_thresh=0.0,
     )
+    if stats is not None:
+        stats._record_setup(time.perf_counter() - setup_start)
     preconditioner = sparse_linalg.LinearOperator(A.shape, ilu.solve)
     solution, info = sparse_linalg.bicgstab(
-        A, b, M=preconditioner, x0=initial_guess, rtol=1e-12, atol=0.0, maxiter=2000
+        A, b, M=preconditioner, x0=initial_guess, rtol=1e-12, atol=0.0,
+        maxiter=2000, callback=_iteration_counter(counter),
     )
     if info != 0:
         solution, info = sparse_linalg.gmres(
@@ -231,6 +318,8 @@ def _ilu_krylov_solve(A, b, initial_guess) -> np.ndarray:
             atol=0.0,
             restart=100,
             maxiter=2000,
+            callback=_iteration_counter(counter),
+            callback_type="pr_norm",
         )
     if info != 0:
         raise RuntimeError(f"Krylov iteration did not converge (info={info})")
@@ -242,6 +331,7 @@ def steady_state_distribution(
     tol: float = 1e-12,
     initial_guess: np.ndarray | None = None,
     prefer: str | None = None,
+    stats: SolveStats | None = None,
 ) -> np.ndarray:
     """Solve ``pi Q = 0`` with ``pi >= 0`` and ``sum(pi) = 1``.
 
@@ -257,12 +347,17 @@ def steady_state_distribution(
         solve ignores it, so providing a guess never changes the result of a
         successfully direct-solved system.
     prefer:
-        ``"direct"`` or ``"ilu_krylov"`` forces that strategy to run first
-        (the other remains as fallback); ``None`` picks by problem size.
+        One of :data:`MATERIALIZED_STRATEGIES` forces that strategy to run
+        first (``"power"`` skips the linear solvers entirely); ``None``
+        picks by problem size, with the others as fallback.
+    stats:
+        Optional :class:`SolveStats` filled in place with per-attempt
+        timings and Krylov iteration counts.
     """
     num_states = generator.shape[0]
     if generator.shape[0] != generator.shape[1]:
         raise ValueError("generator must be square")
+    _validate_prefer(prefer, MATERIALIZED_STRATEGIES)
     if num_states == 1:
         return np.array([1.0])
 
@@ -270,41 +365,64 @@ def steady_state_distribution(
     rate_scale = float(np.abs(generator.diagonal()).max())
     A, b = _balance_system(generator)
 
-    if prefer is not None and prefer not in ("direct", "ilu_krylov"):
-        raise ValueError(
-            f"unknown materialized strategy {prefer!r}; expected 'direct' or 'ilu_krylov'"
+    if prefer == "power":
+        strategies: list[str] = []
+    else:
+        lead = prefer or (
+            "direct" if num_states <= DIRECT_SOLVE_STATE_LIMIT else "ilu_krylov"
         )
-    lead = prefer or ("direct" if num_states <= DIRECT_SOLVE_STATE_LIMIT else "ilu_krylov")
-    strategies = [lead] + [s for s in ("direct", "ilu_krylov") if s != lead]
+        strategies = [lead] + [s for s in ("direct", "ilu_krylov") if s != lead]
 
     def residual_of(candidate):
         return float(np.abs(candidate @ generator).max())
 
     for strategy in strategies:
+        counter = [0]
+        attempt_start = time.perf_counter()
         try:
             if strategy == "direct":
                 candidate = _direct_solve(A, b)
             else:
-                candidate = _ilu_krylov_solve(A, b, initial_guess)
+                candidate = _ilu_krylov_solve(A, b, initial_guess, counter, stats)
         except (RuntimeError, ValueError, ArithmeticError, MemoryError,
                 np.linalg.LinAlgError, sparse_linalg.MatrixRankWarning) as error:
             # MemoryError is included deliberately: the direct fallback can hit
             # SuperLU's fill-in wall on large lattice generators, and the
             # power-iteration last resort must still get its chance.
+            if stats is not None:
+                stats.attempts.append(SolveAttempt(
+                    strategy, time.perf_counter() - attempt_start,
+                    iterations=counter[0] if strategy != "direct" else None,
+                ))
             logger.warning(
                 "steady-state %s solve failed (%s: %s); trying next strategy",
                 strategy, type(error).__name__, error,
             )
             continue
         solution = _validated(candidate, residual_of, rate_scale)
+        if stats is not None:
+            stats.attempts.append(SolveAttempt(
+                strategy, time.perf_counter() - attempt_start,
+                iterations=counter[0] if strategy != "direct" else None,
+                accepted=solution is not None,
+            ))
         if solution is not None:
             return solution
         logger.warning(
             "steady-state %s solve produced an invalid distribution; trying next strategy",
             strategy,
         )
-    logger.warning("all linear-solver strategies failed; falling back to power iteration")
-    return _power_iteration(generator, tol=tol, initial_guess=initial_guess)
+    if prefer != "power":
+        logger.warning(
+            "all linear-solver strategies failed; falling back to power iteration"
+        )
+    attempt_start = time.perf_counter()
+    solution = _power_iteration(generator, tol=tol, initial_guess=initial_guess)
+    if stats is not None:
+        stats.attempts.append(SolveAttempt(
+            "power", time.perf_counter() - attempt_start, accepted=True,
+        ))
+    return solution
 
 
 #: Relative tolerance of the matrix-free Krylov iterations.  The acceptance
@@ -316,7 +434,7 @@ _MATRIX_FREE_RTOL = 1e-9
 _MATRIX_FREE_MAXITER = 600
 
 
-def _matrix_free_bicgstab(operator, b, initial_guess, preconditioner):
+def _matrix_free_bicgstab(operator, b, initial_guess, preconditioner, counter):
     solution, info = sparse_linalg.bicgstab(
         operator.balance_operator(),
         b,
@@ -325,13 +443,14 @@ def _matrix_free_bicgstab(operator, b, initial_guess, preconditioner):
         rtol=_MATRIX_FREE_RTOL,
         atol=0.0,
         maxiter=_MATRIX_FREE_MAXITER,
+        callback=_iteration_counter(counter),
     )
     if info != 0:
         raise RuntimeError(f"matrix-free BiCGSTAB did not converge (info={info})")
     return solution
 
 
-def _matrix_free_gmres(operator, b, initial_guess, preconditioner):
+def _matrix_free_gmres(operator, b, initial_guess, preconditioner, counter):
     # Restart length 50 keeps the Krylov basis ~50 state vectors — the only
     # O(states) allocation of this tier beyond the operator itself.
     solution, info = sparse_linalg.gmres(
@@ -343,6 +462,8 @@ def _matrix_free_gmres(operator, b, initial_guess, preconditioner):
         atol=0.0,
         restart=50,
         maxiter=40,
+        callback=_iteration_counter(counter),
+        callback_type="pr_norm",
     )
     if info != 0:
         raise RuntimeError(f"matrix-free GMRES did not converge (info={info})")
@@ -353,6 +474,8 @@ def steady_state_matrix_free(
     operator,
     tol: float = 1e-12,
     initial_guess: np.ndarray | None = None,
+    prefer: str | None = None,
+    stats: SolveStats | None = None,
 ) -> np.ndarray:
     """Steady state through a matrix-free operator — nothing materialized.
 
@@ -363,49 +486,80 @@ def steady_state_matrix_free(
     materialized tiers — preconditioned BiCGSTAB first, a GMRES retry, and
     matrix-free power iteration as the last resort — and validates every
     candidate against the same ``max |pi Q|`` residual threshold.
+
+    ``prefer`` accepts one of :data:`MATRIX_FREE_STRATEGIES` (same validation
+    as the materialized tier's ``prefer=``); ``stats`` is an optional
+    :class:`SolveStats` filled in place.
     """
     num_states = operator.num_states
+    _validate_prefer(prefer, MATRIX_FREE_STRATEGIES)
     if num_states == 1:
         return np.array([1.0])
     b = np.zeros(num_states)
     b[-1] = 1.0
 
-    try:
-        preconditioner = operator.preconditioner().as_linear_operator()
-    except (RuntimeError, ValueError, MemoryError, np.linalg.LinAlgError) as error:
-        logger.warning(
-            "matrix-free preconditioner setup failed (%s: %s); "
-            "continuing unpreconditioned", type(error).__name__, error,
-        )
-        preconditioner = None
-
-    for name, strategy in (
-        ("bicgstab", _matrix_free_bicgstab),
-        ("gmres", _matrix_free_gmres),
-    ):
+    krylov: list[tuple] = []
+    if prefer != "power":
+        setup_start = time.perf_counter()
         try:
-            candidate = strategy(operator, b, initial_guess, preconditioner)
+            preconditioner = operator.preconditioner().as_linear_operator()
+            if stats is not None:
+                stats._record_setup(time.perf_counter() - setup_start)
+        except (RuntimeError, ValueError, MemoryError, np.linalg.LinAlgError) as error:
+            logger.warning(
+                "matrix-free preconditioner setup failed (%s: %s); "
+                "continuing unpreconditioned", type(error).__name__, error,
+            )
+            preconditioner = None
+        krylov = [
+            ("bicgstab", _matrix_free_bicgstab),
+            ("gmres", _matrix_free_gmres),
+        ]
+        if prefer == "gmres":
+            krylov.reverse()
+
+    for name, strategy in krylov:
+        counter = [0]
+        attempt_start = time.perf_counter()
+        try:
+            candidate = strategy(operator, b, initial_guess, preconditioner, counter)
         except (RuntimeError, ValueError, ArithmeticError, MemoryError,
                 np.linalg.LinAlgError) as error:
+            if stats is not None:
+                stats.attempts.append(SolveAttempt(
+                    name, time.perf_counter() - attempt_start, iterations=counter[0],
+                ))
             logger.warning(
                 "matrix-free %s solve failed (%s: %s); trying next strategy",
                 name, type(error).__name__, error,
             )
             continue
         solution = _validated(candidate, operator.residual, operator.rate_scale)
+        if stats is not None:
+            stats.attempts.append(SolveAttempt(
+                name, time.perf_counter() - attempt_start, iterations=counter[0],
+                accepted=solution is not None,
+            ))
         if solution is not None:
             return solution
         logger.warning(
             "matrix-free %s solve produced an invalid distribution; "
             "trying next strategy", name,
         )
-    logger.warning(
-        "matrix-free Krylov strategies failed; falling back to power iteration"
-    )
-    return _power_iteration_callable(
+    if prefer != "power":
+        logger.warning(
+            "matrix-free Krylov strategies failed; falling back to power iteration"
+        )
+    attempt_start = time.perf_counter()
+    solution = _power_iteration_callable(
         operator.qt_matvec, operator.rate_scale, num_states,
         tol=tol, initial_guess=initial_guess,
     )
+    if stats is not None:
+        stats.attempts.append(SolveAttempt(
+            "power", time.perf_counter() - attempt_start, accepted=True,
+        ))
+    return solution
 
 
 def _power_iteration(

@@ -26,36 +26,53 @@ Preconditioning comes in two layers:
   the front-completion diagonal.  Each orientation is one QBD-style
   substitution sweep with the per-block ``K x K`` inverses, *batched across
   levels* (``population + 1`` vectorised steps, no per-block Python).
-* :class:`TwoLevelPreconditioner` — the production preconditioner of the
+* :class:`MultilevelPreconditioner` — the production preconditioner of the
   matrix-free tier: the three sweep orientations composed multiplicatively
   (every transition family is solved exactly by one of them) around a
-  *level-aggregation coarse correction*: the balance matrix is Galerkin-
-  aggregated onto the ``(n_front, n_db)`` lattice (phases collapsed with
-  stationary-phase weights, one unknown per block — ``states / K``
-  unknowns), factorised once with a throw-away ILU, and used to kill the
-  slow population-flow error modes that the local sweeps cannot damp.
+  *recursive multilevel coarse correction*
+  (:class:`repro.queueing.multilevel.LatticeHierarchy`): the balance matrix
+  is Galerkin-coarsened onto successively 2x2-aggregated ``(n_front, n_db)``
+  lattices with the phases preserved, and one V-cycle over that hierarchy
+  kills the slow population-flow error modes that the local sweeps cannot
+  damp.  The phase-preserving coarse space is what keeps the Krylov
+  iteration count flat in the population (~20 from N=200 to N=1500); the
+  earlier one-shot ILU of the *phase-aggregated* lattice left it growing
+  ~N^0.6.  ``TwoLevelPreconditioner`` remains as an alias of the class.
 
 The family matrices depend only on the two service MAPs, so
 :meth:`repro.queueing.kron.KronGeneratorAssembler.operator` hands each new
 population's operator the same cached local blocks — population sweeps pay
-the per-population setup (exit diagonal, block inverses, coarse factor) but
-never re-derive the Kronecker structure.
+the per-population setup (exit diagonal, block inverses, coarse hierarchy)
+but never re-derive the Kronecker structure.
+
+The ``REPRO_SOLVER_THREADS`` environment variable chunks the per-family
+``(blocks, K) @ (K, K)`` GEMMs of the matvecs across a thread pool.
+**Determinism contract**: within every family the source-to-destination
+block map is injective, so each output row is written by exactly one chunk
+and the floating-point result is bit-identical for *every* thread count
+(threads = 1, the default, additionally runs the unchunked original code
+path).  The knob is read once per operator at construction time.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
-import scipy.sparse as sparse
 import scipy.sparse.linalg as sparse_linalg
 
 from repro.maps.map_process import MAP
 from repro.queueing.kron import NetworkStateSpace, ZERO_THINK_RATE, _offdiagonal
+from repro.queueing.multilevel import LatticeHierarchy
 
 __all__ = [
     "MatrixFreeGenerator",
     "LevelSweepPreconditioner",
+    "MultilevelPreconditioner",
     "TwoLevelPreconditioner",
     "PRECONDITIONER_MODES",
+    "THREADS_ENV_VAR",
+    "solver_thread_count",
 ]
 
 #: Level-sweep orientations understood by :class:`LevelSweepPreconditioner`:
@@ -66,27 +83,34 @@ __all__ = [
 #: and ``alternating`` composes ``ndb`` then ``nf`` multiplicatively.
 PRECONDITIONER_MODES = ("alternating", "nf", "ndb", "front")
 
-#: ILU knobs for the aggregated coarse lattice factorisation.  The coarse
-#: problem has one unknown per lattice block and a five-point stencil, so a
-#: near-exact ILU is cheap; a sparse *direct* factorisation is deliberately
-#: avoided (SuperLU fill-in on lattice matrices is the very wall the
-#: matrix-free tier exists to dodge).
-_COARSE_DROP_TOL = 1e-3
-_COARSE_FILL_FACTOR = 10.0
+#: Environment variable with the matvec GEMM worker-thread count (default 1).
+THREADS_ENV_VAR = "REPRO_SOLVER_THREADS"
+
+#: Don't bother splitting a family across threads below this many blocks per
+#: chunk — the dispatch overhead would exceed the GEMM.
+_MIN_BLOCKS_PER_CHUNK = 4_096
 
 
-def _stationary_phase_distribution(generator: np.ndarray) -> np.ndarray:
-    """Stationary distribution of a small dense phase generator."""
-    order = generator.shape[0]
-    system = np.vstack([generator.T, np.ones((1, order))])
-    rhs = np.zeros(order + 1)
-    rhs[-1] = 1.0
-    solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
-    solution = np.clip(solution, 0.0, None)
-    total = solution.sum()
-    if total <= 0:
-        return np.full(order, 1.0 / order)
-    return solution / total
+def solver_thread_count(override: int | str | None = None) -> int:
+    """Worker threads for the chunked matvec GEMMs (default 1).
+
+    ``override`` (or the ``REPRO_SOLVER_THREADS`` environment variable, in
+    that precedence order) sets the count; empty/unset means single-threaded.
+    Results are bit-identical for every value — see the module docstring's
+    determinism contract.
+    """
+    raw = override if override is not None else os.environ.get(THREADS_ENV_VAR)
+    if raw is None or str(raw).strip() == "":
+        return 1
+    try:
+        count = int(str(raw).strip())
+    except ValueError:
+        raise ValueError(
+            f"{THREADS_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"{THREADS_ENV_VAR} must be >= 1, got {raw!r}")
+    return count
 
 
 class MatrixFreeGenerator:
@@ -146,6 +170,7 @@ class MatrixFreeGenerator:
             offsets[n_front[self._front_src] - 1] + n_db[self._front_src] + 1
         )
         self._db_src = blocks[n_db > 0]
+        self._db_dest = self._db_src - 1
 
         # Exit rates (the negated generator diagonal), per block and phase.
         front_exit = (d1_front + hidden_front).sum(axis=1)
@@ -159,6 +184,9 @@ class MatrixFreeGenerator:
         #: in meaning to ``max |diag(Q)|`` of the materialized generator.
         self.rate_scale = float(exit_rate.max()) if exit_rate.size else 0.0
         self._inverse_blocks_cache: np.ndarray | None = None
+        #: Matvec GEMM worker threads (``REPRO_SOLVER_THREADS``, default 1).
+        self.num_threads = solver_thread_count()
+        self._executor = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -192,30 +220,81 @@ class MatrixFreeGenerator:
             self.space.num_blocks, self.space.block_size
         )
 
+    def _chunks(self, size: int) -> list[slice] | None:
+        """Block-axis slices for the worker pool; ``None`` = run unchunked."""
+        if self.num_threads == 1 or size < 2 * _MIN_BLOCKS_PER_CHUNK:
+            return None
+        step = max(_MIN_BLOCKS_PER_CHUNK, -(-size // self.num_threads))
+        return [slice(start, min(start + step, size)) for start in range(0, size, step)]
+
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_threads, thread_name_prefix="repro-solver"
+            )
+        return self._executor
+
+    def _scatter_gemm(self, yb, dest, xb, src, local) -> None:
+        """``yb[dest] += xb[src] @ local``, chunked over the block axis.
+
+        ``dest`` is duplicate-free within every family, so each output row is
+        written by exactly one chunk and the result is independent of the
+        chunking — bit-identical for every thread count.
+        """
+        chunks = self._chunks(dest.size)
+        if chunks is None:
+            yb[dest] += xb[src] @ local
+            return
+        run = lambda piece: yb.__setitem__(  # noqa: E731 - closure over yb
+            dest[piece], yb[dest[piece]] + xb[src[piece]] @ local
+        )
+        list(self._pool().map(run, chunks))
+
+    def _scatter_scaled(self, yb, dest, xb, src, rates) -> None:
+        """``yb[dest] += rates[:, None] * xb[src]`` with the same chunking."""
+        chunks = self._chunks(dest.size)
+        if chunks is None:
+            yb[dest] += rates[:, None] * xb[src]
+            return
+        run = lambda piece: yb.__setitem__(  # noqa: E731 - closure over yb
+            dest[piece], yb[dest[piece]] + rates[piece, None] * xb[src[piece]]
+        )
+        list(self._pool().map(run, chunks))
+
     def q_matvec(self, x: np.ndarray) -> np.ndarray:
         """``y = Q x`` (rows = source states): one GEMM per family."""
         xb = self._as_blocks(x)
         yb = -self._exit_rate * xb
-        yb[self._think_src] += self._think_rates[:, None] * xb[self._think_dest]
-        yb[self._front_src] += xb[self._front_dest] @ self._front_completion.T
+        self._scatter_scaled(yb, self._think_src, xb, self._think_dest, self._think_rates)
+        self._scatter_gemm(
+            yb, self._front_src, xb, self._front_dest, self._front_completion.T
+        )
         if self._has_front_hidden:
-            yb[self._front_src] += xb[self._front_src] @ self._front_hidden.T
-        yb[self._db_src] += xb[self._db_src - 1] @ self._db_completion.T
+            self._scatter_gemm(
+                yb, self._front_src, xb, self._front_src, self._front_hidden.T
+            )
+        self._scatter_gemm(yb, self._db_src, xb, self._db_dest, self._db_completion.T)
         if self._has_db_hidden:
-            yb[self._db_src] += xb[self._db_src] @ self._db_hidden.T
+            self._scatter_gemm(yb, self._db_src, xb, self._db_src, self._db_hidden.T)
         return yb.reshape(-1)
 
     def qt_matvec(self, x: np.ndarray) -> np.ndarray:
         """``y = Q^T x`` — equivalently ``x Q``, the balance-equation direction."""
         xb = self._as_blocks(x)
         yb = -self._exit_rate * xb
-        yb[self._think_dest] += self._think_rates[:, None] * xb[self._think_src]
-        yb[self._front_dest] += xb[self._front_src] @ self._front_completion
+        self._scatter_scaled(yb, self._think_dest, xb, self._think_src, self._think_rates)
+        self._scatter_gemm(
+            yb, self._front_dest, xb, self._front_src, self._front_completion
+        )
         if self._has_front_hidden:
-            yb[self._front_src] += xb[self._front_src] @ self._front_hidden
-        yb[self._db_src - 1] += xb[self._db_src] @ self._db_completion
+            self._scatter_gemm(
+                yb, self._front_src, xb, self._front_src, self._front_hidden
+            )
+        self._scatter_gemm(yb, self._db_dest, xb, self._db_src, self._db_completion)
         if self._has_db_hidden:
-            yb[self._db_src] += xb[self._db_src] @ self._db_hidden
+            self._scatter_gemm(yb, self._db_src, xb, self._db_src, self._db_hidden)
         return yb.reshape(-1)
 
     def balance_matvec(self, x: np.ndarray) -> np.ndarray:
@@ -250,11 +329,12 @@ class MatrixFreeGenerator:
             (n, n), matvec=self.balance_matvec, dtype=float
         )
 
-    def preconditioner(self, kind: str = "two_level"):
-        """Balance-system preconditioner: ``two_level`` (production) or a
-        single :data:`PRECONDITIONER_MODES` sweep."""
-        if kind == "two_level":
-            return TwoLevelPreconditioner(self)
+    def preconditioner(self, kind: str = "multilevel"):
+        """Balance-system preconditioner: ``multilevel`` (production; the
+        historical name ``two_level`` is accepted) or a single
+        :data:`PRECONDITIONER_MODES` sweep."""
+        if kind in ("multilevel", "two_level"):
+            return MultilevelPreconditioner(self)
         return LevelSweepPreconditioner(self, mode=kind)
 
     # ------------------------------------------------------------------
@@ -288,64 +368,6 @@ class MatrixFreeGenerator:
             diagonal_blocks[-1, K - 1, :] = 1.0  # the sum(pi) = 1 row
             self._inverse_blocks_cache = np.linalg.inv(diagonal_blocks)
         return self._inverse_blocks_cache
-
-    def phase_weights(self) -> np.ndarray:
-        """Joint stationary phase distribution (coarse-grid prolongation).
-
-        The product of the two MAPs' stationary phase distributions —
-        reconstructed from the clipped local matrices, whose row-sum-adjusted
-        sum is exactly the phase-process generator ``D0 + D1``.
-        """
-
-        def stationary(d1: np.ndarray, hidden: np.ndarray) -> np.ndarray:
-            generator = d1 + hidden
-            np.fill_diagonal(
-                generator, np.diag(generator) - generator.sum(axis=1)
-            )
-            return _stationary_phase_distribution(generator)
-
-        return np.kron(
-            stationary(self.d1_front, self.hidden_front),
-            stationary(self.d1_db, self.hidden_db),
-        )
-
-    def aggregated_balance_matrix(self, weights: np.ndarray) -> sparse.csc_matrix:
-        """Galerkin aggregation of the balance matrix onto the block lattice.
-
-        Prolongation spreads a block value over its phases with ``weights``;
-        restriction sums phases.  Every family then aggregates to one scalar
-        rate per lattice edge, giving a five-point-stencil matrix with one
-        unknown per ``(n_front, n_db)`` block (``states / K`` unknowns); the
-        last row becomes the aggregated normalisation constraint.
-        """
-        num_blocks = self.space.num_blocks
-        ones = np.ones(self.space.block_size)
-        blocks = np.arange(num_blocks)
-        rows = [self._think_dest, self._front_dest, self._front_src,
-                self._db_src - 1, self._db_src, blocks]
-        cols = [self._think_src, self._front_src, self._front_src,
-                self._db_src, self._db_src, blocks]
-        data = [
-            self._think_rates,  # think local block is the identity
-            np.full(self._front_src.size, float(weights @ self._front_completion @ ones)),
-            np.full(self._front_src.size, float(weights @ self._front_hidden @ ones)),
-            np.full(self._db_src.size, float(weights @ self._db_completion @ ones)),
-            np.full(self._db_src.size, float(weights @ self._db_hidden @ ones)),
-            -(self._exit_rate @ weights),
-        ]
-        aggregated = sparse.coo_matrix(
-            (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
-            shape=(num_blocks, num_blocks),
-        ).tocsr()
-        # Aggregated normalisation row (mirrors the fine system's ones row).
-        normalisation = sparse.csr_matrix(
-            (np.ones(num_blocks), (np.full(num_blocks, num_blocks - 1), blocks)),
-            shape=(num_blocks, num_blocks),
-        )
-        keep = np.ones(num_blocks, dtype=bool)
-        keep[-1] = False
-        mask = sparse.diags(keep.astype(float))
-        return (mask @ aggregated + normalisation).tocsc()
 
     # ------------------------------------------------------------------
     # Accounting
@@ -486,29 +508,38 @@ class LevelSweepPreconditioner:
         return sparse_linalg.LinearOperator((n, n), matvec=self.solve, dtype=float)
 
 
-class TwoLevelPreconditioner:
-    """Level sweeps + aggregated-lattice coarse correction (production).
+class MultilevelPreconditioner:
+    """Level sweeps + recursive multilevel lattice coarse correction.
 
-    One application runs the three sweep orientations multiplicatively (every
-    transition family is solved exactly by one of them), applies the coarse
-    correction through the ILU factors of the phase-aggregated lattice
-    matrix, and finishes with one post-smoothing ``ndb`` sweep.  The coarse
-    level is what keeps the Krylov iteration count from exploding with the
-    population: the sweeps damp phase-local error almost perfectly but
-    propagate information only one lattice level per application, while the
-    slow modes of the balance system live on the population-flow lattice.
+    The production preconditioner of the matrix-free tier.  One application
+    is a *sandwich*: two pre-smoothing sweeps (``ndb`` then ``front`` — every
+    transition family is solved exactly by one of them), the coarse
+    correction as one W-cycle over the phase-preserving Galerkin hierarchy
+    (:class:`repro.queueing.multilevel.LatticeHierarchy` — the fine level
+    stays matrix-free, the sweeps *are* its smoother), and one
+    post-smoothing ``nf`` sweep.  The coarse hierarchy is what keeps the
+    Krylov iteration count flat in the population: the sweeps damp
+    phase-local error almost perfectly but propagate information only one
+    lattice level per application, while the slow modes of the balance system
+    live on the population-flow lattice — and preserving the phases in the
+    coarse space (unlike the historical phase-aggregated ILU, which left
+    iterations growing ~N^0.6) is what lets the hierarchy carry them.
+
+    The arrangement is measured, not guessed (N=400, Figure-9 MAPs): the
+    historical five-stage form (three pre-sweeps + V-cycle + ``ndb`` post)
+    needed 20 iterations at 0.69 s each; dropping to two pre-sweeps alone
+    ballooned the count to 33; the sandwich with the W-cycle lands at 22
+    iterations at 0.29 s each — every fine-level stage costs a full balance
+    matvec for its residual, so fewer, better-placed stages win even at a
+    slightly higher iteration count.
     """
 
     def __init__(self, operator: MatrixFreeGenerator) -> None:
         self.operator = operator
         self.block_size = operator.space.block_size
         self._sweep = LevelSweepPreconditioner(operator, mode="nf")
-        self._weights = operator.phase_weights()
-        self._coarse = sparse_linalg.spilu(
-            operator.aggregated_balance_matrix(self._weights),
-            drop_tol=_COARSE_DROP_TOL,
-            fill_factor=_COARSE_FILL_FACTOR,
-        )
+        #: The coarse Galerkin hierarchy (exposed for tests and diagnostics).
+        self.hierarchy = LatticeHierarchy(operator)
 
     def solve(self, residual: np.ndarray) -> np.ndarray:
         op = self.operator
@@ -524,12 +555,16 @@ class TwoLevelPreconditioner:
         z = z + apply_sweep(
             sweep._solve_levels_front, residual - op.balance_matvec(z)
         )
+        z = z + self.hierarchy.solve(residual - op.balance_matvec(z))
         z = z + apply_sweep(sweep._solve_levels_nf, residual - op.balance_matvec(z))
-        coarse_residual = (residual - op.balance_matvec(z)).reshape(-1, K).sum(axis=1)
-        z = z + np.kron(self._coarse.solve(coarse_residual), self._weights)
-        z = z + apply_sweep(sweep._solve_levels_ndb, residual - op.balance_matvec(z))
         return z
 
     def as_linear_operator(self) -> sparse_linalg.LinearOperator:
         n = self.operator.num_states
         return sparse_linalg.LinearOperator((n, n), matvec=self.solve, dtype=float)
+
+
+#: Historical name of the production preconditioner, kept so existing
+#: imports and ``isinstance`` checks keep working across the multilevel
+#: refactor (the class used to pair the sweeps with a single coarse level).
+TwoLevelPreconditioner = MultilevelPreconditioner

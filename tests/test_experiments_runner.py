@@ -311,3 +311,30 @@ class TestEngineMatchesDirectExecution:
         assert result.metric("throughput", solver="ctmc", population=3) == pytest.approx(
             exact.throughput, rel=1e-12
         )
+
+
+class TestPeakRssUnits:
+    """``ru_maxrss`` is KiB on Linux but bytes on macOS — the divisor must
+    match, or a Mac run reports memory inflated by 1024x (regression test
+    for exactly that bug)."""
+
+    class _Usage:
+        ru_maxrss = 524_288  # 512 MiB in KiB, or 0.5 MiB in bytes
+
+    def test_linux_interprets_kib(self, monkeypatch):
+        from repro.experiments import solvers
+
+        monkeypatch.setattr(
+            solvers.resource, "getrusage", lambda who: self._Usage()
+        )
+        monkeypatch.setattr(solvers.sys, "platform", "linux")
+        assert solvers._peak_rss_mb() == pytest.approx(512.0)
+
+    def test_darwin_interprets_bytes(self, monkeypatch):
+        from repro.experiments import solvers
+
+        monkeypatch.setattr(
+            solvers.resource, "getrusage", lambda who: self._Usage()
+        )
+        monkeypatch.setattr(solvers.sys, "platform", "darwin")
+        assert solvers._peak_rss_mb() == pytest.approx(0.5)

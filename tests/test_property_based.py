@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.maps.map2 import map2_from_moments_and_decay
@@ -160,10 +160,15 @@ class TestWindowAccumulatorProperties:
         ),
     )
     @settings(max_examples=60, deadline=None)
+    @example(window=0.15, steps=[1, 5])  # clock lands one ulp past 6*window
     def test_interval_series_length_is_ceil_t_last_over_window(self, window, steps):
         # Half-open [kW, (k+1)W) windows: a stream of intervals tiling
         # [0, t_last) yields exactly ceil(t_last / W) windows — an interval
-        # end exactly on a boundary must not open the next window.
+        # end exactly on a boundary must not open the next window.  The
+        # accumulated clock can land within an ulp of a boundary k*W without
+        # being exactly equal to it (e.g. 0.15 + 5*0.15 rounds one ulp above
+        # 6*0.15); in that ambiguous case both ceil roundings describe a
+        # correct half-open tiling, so accept either window count.
         accumulator = TimeWeightedWindows(window)
         clock = 0.0
         for step in steps:
@@ -171,7 +176,12 @@ class TestWindowAccumulatorProperties:
             accumulator.record(clock, clock + duration, 1.0)
             clock += duration
         expected = int(np.ceil(clock / window))
-        assert accumulator.series().shape == (expected,)
+        count = accumulator.series().shape[0]
+        boundary = np.round(clock / window) * window
+        if abs(clock - boundary) <= 4 * np.finfo(float).eps * max(clock, window):
+            assert abs(count - expected) <= 1
+        else:
+            assert count == expected
 
     @given(
         window=st.floats(min_value=0.1, max_value=10.0),

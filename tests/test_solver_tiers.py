@@ -18,8 +18,12 @@ from repro.queueing import ctmc
 from repro.queueing.ctmc import (
     DIRECT_SOLVE_STATE_LIMIT,
     MATERIALIZED_STATE_LIMIT,
+    MATERIALIZED_STRATEGIES,
+    MATRIX_FREE_STRATEGIES,
+    SolveStats,
     TIER_ENV_VAR,
     choose_solver_tier,
+    steady_state_distribution,
     steady_state_matrix_free,
 )
 from repro.queueing.map_network import MapClosedNetworkSolver
@@ -168,3 +172,114 @@ class TestFallbacksAreLogged:
         assert any("preconditioner setup failed" in r.message for r in caplog.records)
         reference = solver.solve(3)
         assert result.throughput == pytest.approx(reference.throughput, rel=1e-6)
+
+
+class TestPreferValidation:
+    """Both steady-state entry points validate ``prefer`` the same way."""
+
+    def test_materialized_unknown_prefer_rejected(self, solver):
+        generator = solver._build_generator(5)
+        with pytest.raises(ValueError, match="unknown solver strategy 'bogus'"):
+            steady_state_distribution(generator, prefer="bogus")
+
+    def test_matrix_free_unknown_prefer_rejected(self, solver):
+        operator = solver._assembler.operator(solver.state_space(5))
+        # "direct" is a materialized strategy, not a matrix-free one: the
+        # error message names the allowed set so the mistake is obvious.
+        with pytest.raises(ValueError, match="expected one of"):
+            steady_state_matrix_free(operator, prefer="direct")
+        assert "direct" in MATERIALIZED_STRATEGIES
+        assert "direct" not in MATRIX_FREE_STRATEGIES
+
+    def test_power_accepted_in_both_tiers(self, solver):
+        generator = solver._build_generator(4)
+        stats = SolveStats()
+        distribution = steady_state_distribution(generator, prefer="power", stats=stats)
+        assert [attempt.strategy for attempt in stats.attempts] == ["power"]
+        assert stats.attempts[-1].accepted
+        reference = steady_state_distribution(generator)
+        np.testing.assert_allclose(distribution, reference, atol=1e-9)
+
+        operator = solver._assembler.operator(solver.state_space(4))
+        free_stats = SolveStats()
+        free = steady_state_matrix_free(operator, prefer="power", stats=free_stats)
+        assert [attempt.strategy for attempt in free_stats.attempts] == ["power"]
+        np.testing.assert_allclose(free, reference, atol=1e-9)
+
+    def test_matrix_free_prefer_gmres_goes_first(self, solver):
+        operator = solver._assembler.operator(solver.state_space(6))
+        stats = SolveStats()
+        steady_state_matrix_free(operator, prefer="gmres", stats=stats)
+        assert stats.attempts[0].strategy == "gmres"
+
+
+class TestSolveDiagnostics:
+    """Results carry iteration counts, setup time and per-attempt timings."""
+
+    def test_ilu_records_iterations_and_attempts(self, solver):
+        result = solver.solve(20, tier="ilu_krylov")
+        assert result.krylov_iterations >= 1
+        assert result.precond_setup_seconds >= 0.0
+        assert result.solver_attempts
+        accepted = result.solver_attempts[-1]
+        assert accepted["accepted"] is True
+        assert accepted["iterations"] == result.krylov_iterations
+        assert accepted["seconds"] >= 0.0
+
+    def test_matrix_free_records_iterations(self, solver):
+        result = solver.solve(20, tier="matrix_free")
+        assert result.krylov_iterations >= 1
+        assert result.precond_setup_seconds >= 0.0
+        assert result.solver_attempts[-1]["strategy"] == "bicgstab"
+
+    def test_direct_has_no_iterations(self, solver):
+        result = solver.solve(4)
+        assert result.solver_tier == "direct"
+        assert result.krylov_iterations is None
+        assert result.solver_attempts[-1]["strategy"] == "direct"
+        assert result.cascade_ladder == ()
+
+    def test_diagnostics_do_not_affect_equality(self, solver):
+        # Diagnostics are provenance, not content (compare=False fields).
+        first = solver.solve(20, tier="ilu_krylov")
+        second = solver.solve(20, tier="direct")
+        assert first.population == second.population
+        assert first.throughput == pytest.approx(second.throughput, rel=1e-8)
+
+
+class TestCascade:
+    def test_ladder_and_agreement_with_cold(self, solver):
+        cold = solver.solve(30, tier="matrix_free")
+        cascaded = solver.solve(30, tier="matrix_free", cascade=True)
+        assert cold.cascade_ladder == ()
+        assert cascaded.cascade_ladder == (7, 15)
+        strategies = [a["strategy"] for a in cascaded.solver_attempts]
+        assert any(s.startswith("N=7:") for s in strategies)
+        assert any(s.startswith("N=15:") for s in strategies)
+        # The final rung's attempt is the target solve, unprefixed.
+        assert not strategies[-1].startswith("N=")
+        assert cascaded.throughput == pytest.approx(cold.throughput, rel=1e-8)
+        assert cascaded.db_queue_length == pytest.approx(
+            cold.db_queue_length, rel=1e-6, abs=1e-9
+        )
+
+    def test_cascade_is_inert_outside_matrix_free(self, solver):
+        result = solver.solve(10, cascade=True)  # direct tier at this size
+        assert result.solver_tier == "direct"
+        assert result.cascade_ladder == ()
+
+    def test_cascade_yields_to_explicit_guess(self, solver):
+        space = solver.state_space(30)
+        guess = np.full(space.num_states, 1.0 / space.num_states)
+        result = solver.solve(
+            30, tier="matrix_free", cascade=True, initial_guess=guess
+        )
+        assert result.cascade_ladder == ()
+
+    def test_sweep_inserts_rungs_and_matches_cold(self, solver):
+        cascaded = solver.solve_sweep([20, 30], tier="matrix_free", cascade=True)
+        assert [r.cascade_ladder for r in cascaded] == [(5, 10), (7, 15)]
+        cold = solver.solve_sweep([20, 30], tier="matrix_free")
+        assert [r.cascade_ladder for r in cold] == [(), ()]
+        for warm, reference in zip(cascaded, cold):
+            assert warm.throughput == pytest.approx(reference.throughput, rel=1e-8)
