@@ -22,6 +22,11 @@ runner:
   envelope around the fan-out: per-cell timeouts, bounded retries with
   backoff, crash isolation and a failure budget, with deterministic fault
   injection (:mod:`~repro.experiments.faults`) for chaos tests,
+* :mod:`~repro.experiments.fleet` — crash-tolerant distributed campaigns:
+  a file-backed work queue inside the run directory, leased stateless
+  workers (atomic lease files, heartbeats, exactly-once commit markers)
+  and a draining supervisor — ``run --backend fleet`` and the async
+  ``fleet submit/work/status/fetch/workers`` CLI verbs,
 * :mod:`~repro.experiments.packs` — scenario *packs*: JSON spec files
   (``scenarios/*.json``) validated and run directly from the CLI,
 * :mod:`~repro.experiments.cli` — ``python -m repro.experiments run fig4``
@@ -31,6 +36,13 @@ runner:
 
 from repro.experiments.cache import ResultCache, ResumeState, default_cache_dir
 from repro.experiments.faults import FAULT_ENV, parse_fault_spec
+from repro.experiments.fleet import (
+    CampaignInterrupted,
+    FleetPolicy,
+    fetch_campaign,
+    run_fleet_campaign,
+    submit_campaign,
+)
 from repro.experiments.registry import (
     EB_VALUES,
     PAPER_SCENARIOS,
@@ -75,6 +87,7 @@ from repro.experiments.spec import (
 __all__ = [
     "ArtifactIntegrityError",
     "ArtifactRef",
+    "CampaignInterrupted",
     "Cell",
     "CellFailure",
     "CellResult",
@@ -84,6 +97,7 @@ __all__ = [
     "ExperimentRunner",
     "FAULT_ENV",
     "FailureBudgetExceeded",
+    "FleetPolicy",
     "MapSpec",
     "OutageWindow",
     "PACK_FORMAT",
@@ -101,6 +115,7 @@ __all__ = [
     "TimeVaryingWorkload",
     "TraceWorkload",
     "default_cache_dir",
+    "fetch_campaign",
     "load_pack",
     "parse_fault_spec",
     "validate_pack",
@@ -109,7 +124,9 @@ __all__ = [
     "monitoring_scenario",
     "register_artifact_codec",
     "register_scenario",
+    "run_fleet_campaign",
     "run_scenario",
     "scenario_descriptions",
+    "submit_campaign",
     "tpcw_sweep_scenario",
 ]

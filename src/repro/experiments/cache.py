@@ -71,10 +71,14 @@ from repro.experiments.spec import ScenarioSpec, cell_key
 __all__ = [
     "CacheEntryInfo",
     "CacheWriter",
+    "FLEET_DIRNAME",
     "GcReport",
     "ResultCache",
     "ResumeState",
     "default_cache_dir",
+    "fleet_activity",
+    "manifest_fingerprint",
+    "manifest_record",
     "source_fingerprint",
 ]
 
@@ -84,12 +88,22 @@ _CACHE_ENV_VAR = "REPRO_EXPERIMENTS_CACHE"
 _DEFAULT_DIRNAME = ".experiments-cache"
 _MANIFEST = "manifest.json"
 _QUARANTINE = ".quarantine"
+#: Queue directory a distributed fleet campaign keeps inside the run
+#: directory (see :mod:`repro.experiments.fleet`).  The cache only needs to
+#: know it exists: gc must treat an entry with live leases or worker
+#: heartbeats in here as in-flight, and may sweep the whole subdirectory
+#: once the campaign is merged and dead.
+FLEET_DIRNAME = ".fleet"
 _FORMAT = 4  # 3: manifests embed the solver-code fingerprint; 4: failures
 _HASH_LEN = 16  # length of ScenarioSpec.hash()
 #: How long gc leaves a manifest-less (corrupt-looking) entry alone, so a
 #: concurrent run that has written its first artifact but not yet its first
 #: manifest is never swept away.
 _CORRUPT_GRACE_SECONDS = 3600.0
+#: How long a lease or worker heartbeat protects an entry from gc when the
+#: lease file does not record its own timeout (unreadable / partially
+#: written): fall back to the file's mtime against this window.
+_DEFAULT_LEASE_PROTECT_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -114,6 +128,7 @@ _FINGERPRINT_NEUTRAL_MODULES = frozenset({
     "experiments/cache.py",
     "experiments/cli.py",
     "experiments/faults.py",
+    "experiments/fleet.py",
     "experiments/registry.py",
     "experiments/runner.py",
     "experiments/supervision.py",
@@ -146,9 +161,116 @@ def source_fingerprint() -> str:
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
-    tmp = path.with_name(path.name + ".tmp")
+    # The temp name embeds the pid so concurrent writers (fleet workers and
+    # their supervisor share one run directory) never interleave writes into
+    # one temp file; ``os.replace`` keeps the final swap atomic either way.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def manifest_record(key: str, row: CellResult) -> dict:
+    """The manifest ``rows`` document of one completed cell.
+
+    Shared between :class:`CacheWriter` (pool runs append records as cells
+    stream in) and the fleet workers (which persist the same records into
+    per-unit result shards for the merge step), so both paths serialise
+    cells identically.
+    """
+    record = row.to_dict()
+    record["key"] = key
+    record["artifact"] = (
+        row.artifact.to_dict() if isinstance(row.artifact, ArtifactRef) else None
+    )
+    return record
+
+
+def manifest_fingerprint(path: str | os.PathLike) -> str:
+    """Digest of a run manifest over its *computed* content only.
+
+    Wall-clock timings and per-cell execution ``meta`` (peak RSS, solver
+    attempt timings) vary run to run even when the computed results are
+    bit-identical, as do failure retry counts under nondeterministic fault
+    timing; they are excluded.  Everything that describes *what was
+    computed* — spec, spec hash, code fingerprint, status, row metrics,
+    seeds, artifact SHA-256 digests, failure identities — is hashed in
+    canonical JSON form.  Two runs of one spec — serial, pool-parallel or a
+    distributed fleet — therefore fingerprint equal exactly when they
+    produced the same results, which is the property the concurrent-writer
+    tests and the CI fleet-smoke job assert.
+    """
+    manifest = json.loads(Path(path).read_text())
+    manifest.pop("elapsed_seconds", None)
+    for record in manifest.get("rows", ()):
+        record.pop("elapsed_seconds", None)
+        record.pop("meta", None)
+    for record in manifest.get("failures", ()):
+        record.pop("elapsed_seconds", None)
+        record.pop("message", None)
+        record.pop("attempts", None)
+    text = json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _heartbeat_is_live(path: Path, now: float) -> bool:
+    """Whether one lease/worker heartbeat file still protects its entry.
+
+    The payload's own ``heartbeat`` timestamp and ``lease_timeout`` decide
+    (with a generous 2x margin — gc must err on the side of not pruning);
+    unreadable or partially written files fall back to their mtime against
+    :data:`_DEFAULT_LEASE_PROTECT_SECONDS`.
+    """
+    try:
+        payload = json.loads(path.read_text())
+        heartbeat = float(payload["heartbeat"])
+        timeout = float(payload.get("lease_timeout", _DEFAULT_LEASE_PROTECT_SECONDS))
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        try:
+            return now - path.stat().st_mtime < _DEFAULT_LEASE_PROTECT_SECONDS
+        except OSError:
+            return False
+    return now - heartbeat < max(2.0 * timeout, 60.0)
+
+
+def fleet_activity(entry_dir: str | os.PathLike) -> bool:
+    """Whether a live fleet campaign is working inside this run directory.
+
+    True when any lease or worker-heartbeat file under ``.fleet/`` is fresh
+    (see :func:`_heartbeat_is_live`).  ``cache gc`` treats such an entry as
+    in-flight: a worker may be mid-write on a cell whose artifact is not in
+    the manifest yet, so nothing of the entry — not even "corrupt-looking"
+    remnants past the 1h grace or unreferenced side-files — may be pruned.
+    """
+    root = Path(entry_dir) / FLEET_DIRNAME
+    if not root.is_dir():
+        return False
+    now = time.time()
+    for sub in ("leases", "workers"):
+        directory = root / sub
+        if not directory.is_dir():
+            continue
+        try:
+            children = list(directory.iterdir())
+        except OSError:
+            continue
+        for child in children:
+            if child.is_file() and _heartbeat_is_live(child, now):
+                return True
+    return False
+
+
+def _tree_size(root: Path) -> tuple[int, int]:
+    """(files, bytes) of a directory tree; best-effort under concurrent edits."""
+    files = 0
+    total = 0
+    try:
+        for child in root.rglob("*"):
+            if child.is_file():
+                files += 1
+                total += child.stat().st_size
+    except OSError:
+        pass
+    return files, total
 
 
 def _artifact_stem(key: str) -> str:
@@ -554,7 +676,17 @@ class ResultCache:
           (left behind by a kill between an artifact write and the manifest
           rewrite),
         * ``.quarantine/`` subdirectories — suspect payloads are kept for
-          post-mortems until gc runs, then discarded.
+          post-mortems until gc runs, then discarded,
+        * ``.fleet/`` queue directories of *merged, dead* campaigns (the
+          manifest is complete and no lease or worker heartbeat is fresh) —
+          the shards and markers are derived into the manifest and only
+          take space.
+
+        An entry with a **live fleet campaign** (any fresh lease or worker
+        heartbeat under ``.fleet/``, see :func:`fleet_activity`) is skipped
+        entirely: a worker may be mid-write on a cell whose artifact the
+        manifest does not reference yet, so neither the age/corrupt
+        heuristics nor orphan pruning may touch it.
 
         Only paths named ``<scenario>-<16-hex-hash>`` are ever touched.
         """
@@ -563,6 +695,12 @@ class ResultCache:
         removed_orphans = 0
         freed = 0
         for info in self.entries():
+            if info.path.is_dir() and fleet_activity(info.path):
+                logger.info(
+                    "gc: skipping cache entry %s — a fleet campaign holds "
+                    "live leases or worker heartbeats in it", info.path,
+                )
+                continue
             stale_hash = (
                 info.name in current_hashes and info.spec_hash != current_hashes[info.name]
             )
@@ -577,9 +715,11 @@ class ResultCache:
             corrupt = info.status == "corrupt" and info.age_seconds > _CORRUPT_GRACE_SECONDS
             if stale_hash or stale_code or too_old or corrupt:
                 quarantine_bytes = 0
+                fleet_bytes = 0
                 if info.path.is_dir():
                     _, quarantine_bytes = _quarantine_stats(info.path)
-                freed += info.total_bytes + quarantine_bytes
+                    _, fleet_bytes = _tree_size(info.path / FLEET_DIRNAME)
+                freed += info.total_bytes + quarantine_bytes + fleet_bytes
                 _remove_entry_path(info.path)
                 removed_entries.append(info.path.name)
                 continue
@@ -589,6 +729,14 @@ class ResultCache:
                     shutil.rmtree(info.path / _QUARANTINE, ignore_errors=True)
                     removed_orphans += quarantined
                     freed += quarantine_bytes
+                fleet_dir = info.path / FLEET_DIRNAME
+                if fleet_dir.is_dir() and info.status == "complete":
+                    # Merged, dead campaign: the manifest holds everything
+                    # the queue's shards and markers recorded.
+                    fleet_files, fleet_bytes = _tree_size(fleet_dir)
+                    shutil.rmtree(fleet_dir, ignore_errors=True)
+                    removed_orphans += fleet_files
+                    freed += fleet_bytes
                 orphans, orphan_bytes = self._prune_orphans(info.path)
                 removed_orphans += orphans
                 freed += orphan_bytes
@@ -710,22 +858,65 @@ class CacheWriter:
         self._records.pop(failure.key, None)
         self._write_manifest(status="partial")
 
+    def absorb_record(self, record: dict) -> None:
+        """Merge one pre-serialised row record without rewriting the manifest.
+
+        The fleet merge path: workers persist :func:`manifest_record`
+        documents (artifact refs included — the side-files are already on
+        disk) into per-unit result shards, and the merging process absorbs
+        every shard here before one :meth:`write_partial` /
+        :meth:`finalize`.  A computed cell supersedes any failure record of
+        the same key, exactly like :meth:`add`.
+        """
+        key = record["key"]
+        self._failures.pop(key, None)
+        self._records[key] = dict(record)
+
+    def absorb_failure_record(self, record: dict) -> None:
+        """Merge one pre-serialised failure record (fleet merge path).
+
+        A completed row of the same key wins — a unit that failed on one
+        worker but was later computed by another is not a failure.
+        """
+        key = record["key"]
+        if key not in self._records:
+            self._failures[key] = dict(record)
+
+    def write_partial(self, elapsed_seconds: float = 0.0) -> Path:
+        """Persist the current state with ``status: "partial"`` (resumable).
+
+        The graceful-shutdown path of the fleet supervisor: on SIGINT /
+        SIGTERM it absorbs every committed shard and writes one resumable
+        partial manifest before releasing the campaign's leases and exiting.
+        """
+        self._write_manifest(status="partial", elapsed_seconds=elapsed_seconds)
+        return self.directory
+
     @property
     def failures(self) -> tuple[CellFailure, ...]:
         """The failure records currently in the manifest."""
         return tuple(CellFailure.from_dict(record) for record in self._failures.values())
 
     def finalize(self, elapsed_seconds: float) -> Path:
+        # Canonical row order on the final document: the spec's grid order,
+        # however the records arrived (serial completion order, pool
+        # streaming order, fleet merge order, resumed-rows-first).  Serial
+        # and distributed runs of one spec therefore finalize manifests that
+        # differ only in volatile timing fields — the property
+        # :func:`manifest_fingerprint` hashes over.
+        order = {cell.key: index for index, cell in enumerate(self.spec.cells())}
+        fallback = len(order)
+        self._records = dict(
+            sorted(self._records.items(), key=lambda kv: (order.get(kv[0], fallback), kv[0]))
+        )
+        self._failures = dict(
+            sorted(self._failures.items(), key=lambda kv: (order.get(kv[0], fallback), kv[0]))
+        )
         self._write_manifest(status="complete", elapsed_seconds=elapsed_seconds)
         return self.directory
 
     def _record(self, key: str, row: CellResult) -> dict:
-        record = row.to_dict()
-        record["key"] = key
-        record["artifact"] = (
-            row.artifact.to_dict() if isinstance(row.artifact, ArtifactRef) else None
-        )
-        return record
+        return manifest_record(key, row)
 
     def _write_manifest(self, status: str, elapsed_seconds: float = 0.0) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)

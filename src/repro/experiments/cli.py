@@ -24,6 +24,13 @@
     python -m repro.experiments cache ls [--cache-dir DIR]
     python -m repro.experiments cache rm <scenario> [--cache-dir DIR]
     python -m repro.experiments cache gc [--max-age-days D] [--cache-dir DIR]
+    python -m repro.experiments fleet submit fig4 [--force] [--workers N]
+                                         [--lease-timeout S] [--retries N]
+                                         [--max-failures N] [--cache-dir DIR]
+    python -m repro.experiments fleet work fig4 [--workers N] [...]
+    python -m repro.experiments fleet status fig4 [--cache-dir DIR]
+    python -m repro.experiments fleet fetch fig4 [--json] [--cache-dir DIR]
+    python -m repro.experiments fleet workers fig4 [--cache-dir DIR]
 
 ``show``, ``run`` and ``export`` accept either a registered scenario name or
 a path to a *scenario pack* — a JSON spec file (anything containing a path
@@ -73,6 +80,22 @@ permanently within the ``--max-failures`` budget (a *partial result*; the
 completed rows are cached and printed, the failures are listed and recorded
 in the run manifest); ``1`` — the failure budget was exceeded and the run
 aborted (completed rows remain cached for resume); ``2`` — usage errors.
+
+``run --backend fleet`` routes the same contract through the
+**crash-tolerant distributed backend** (:mod:`repro.experiments.fleet`):
+``--workers`` leased stateless worker processes share the run directory
+through an on-disk work queue, survive SIGKILL of any worker, and drain
+gracefully (resumable ``status: "partial"`` manifest, leases released) when
+the supervisor receives SIGINT/SIGTERM — which exits ``1`` like an exceeded
+budget.  The ``fleet`` subcommands operate the queue asynchronously:
+``submit`` enqueues a campaign without running anything, any number of
+``work`` processes (possibly on other hosts sharing the cache directory)
+drain it, ``status``/``workers`` observe progress and worker heartbeats,
+and ``fetch`` merges committed shards into the manifest without a
+supervisor.  ``status`` and ``fetch`` **extend the exit-code contract**
+with ``4`` — the campaign exists but has unsettled units (in progress);
+they exit ``1`` when no campaign (and no complete cached run) exists,
+``0``/``3`` once results are merged, exactly like ``run``.
 """
 
 from __future__ import annotations
@@ -83,6 +106,13 @@ import sys
 from dataclasses import replace
 
 from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.fleet import (
+    CampaignInterrupted,
+    FleetPolicy,
+    campaign_status,
+    fetch_campaign,
+    submit_campaign,
+)
 from repro.experiments.packs import (
     PackValidationError,
     load_pack,
@@ -94,7 +124,11 @@ from repro.experiments.registry import (
     scenario_descriptions,
 )
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentRunner, FailureBudgetExceeded
+from repro.experiments.runner import (
+    EXECUTION_BACKENDS,
+    ExperimentRunner,
+    FailureBudgetExceeded,
+)
 from repro.experiments.supervision import SupervisionPolicy
 from repro.experiments.spec import (
     SOLVER_KINDS,
@@ -227,6 +261,32 @@ def _add_runner_arguments(command) -> None:
         help="cells allowed to fail permanently before the run aborts; "
         "within the budget the run degrades to a partial result and exits 3 "
         "(default: 0 — any permanent failure aborts)",
+    )
+    command.add_argument(
+        "--backend",
+        choices=EXECUTION_BACKENDS,
+        default="pool",
+        help="execution backend: 'pool' — supervisor-owned worker processes "
+        "(default); 'fleet' — leased stateless workers over the on-disk "
+        "work queue (crash-tolerant, requires the cache)",
+    )
+    _add_fleet_policy_arguments(command)
+
+
+def _add_fleet_policy_arguments(command) -> None:
+    command.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="fleet worker processes (fleet backend; default: 2)",
+    )
+    command.add_argument(
+        "--lease-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds without a lease heartbeat before a fleet unit is "
+        "reaped and requeued (fleet backend; default: 30)",
     )
 
 
@@ -370,6 +430,62 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="cache directory (default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
         )
+
+    fleet = commands.add_parser(
+        "fleet", help="crash-tolerant distributed campaigns over the shared cache"
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_submit = fleet_commands.add_parser(
+        "submit", help="enqueue a campaign (no workers are started)"
+    )
+    fleet_work = fleet_commands.add_parser(
+        "work", help="run a supervisor with local leased workers until the "
+        "campaign settles (attaches to a submitted campaign, or creates one)"
+    )
+    fleet_status = fleet_commands.add_parser(
+        "status", help="campaign progress; exits 4 while units are unsettled"
+    )
+    fleet_fetch = fleet_commands.add_parser(
+        "fetch", help="merge committed shards into the manifest without a "
+        "supervisor; exits 4 while the campaign is in progress"
+    )
+    fleet_workers = fleet_commands.add_parser(
+        "workers", help="list worker heartbeats of a campaign"
+    )
+    for command in (fleet_submit, fleet_work, fleet_status, fleet_fetch, fleet_workers):
+        command.add_argument(
+            "scenario", help="registered scenario name or path to a pack .json file"
+        )
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache directory (default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
+        )
+    for command in (fleet_submit, fleet_work):
+        command.add_argument(
+            "--force", action="store_true",
+            help="discard committed units and recompute the whole grid",
+        )
+        command.add_argument(
+            "--retries",
+            type=_nonnegative_int,
+            default=None,
+            help="re-attempts of a crashed/stalled/erroring unit (default: 2)",
+        )
+        command.add_argument(
+            "--max-failures",
+            type=_nonnegative_int,
+            default=None,
+            help="cells allowed to fail permanently before the campaign "
+            "aborts (default: 0)",
+        )
+        _add_fleet_policy_arguments(command)
+    fleet_work.add_argument(
+        "--json", action="store_true", help="print the raw result JSON"
+    )
+    fleet_fetch.add_argument(
+        "--json", action="store_true", help="print the raw result JSON"
+    )
     return parser
 
 
@@ -455,6 +571,31 @@ def _supervision_from_args(args) -> SupervisionPolicy | None:
         max_failures=(
             args.max_failures if args.max_failures is not None else defaults.max_failures
         ),
+    )
+
+
+def _fleet_policy_from_args(args) -> FleetPolicy:
+    """Fleet knobs from CLI flags; unset flags keep the policy defaults.
+
+    ``--jobs`` and ``--cell-timeout`` (present on ``run``/``sweep`` but not
+    on the ``fleet`` subcommands) double as fallbacks for ``--workers`` and
+    ``--lease-timeout``, so ``run --backend fleet --jobs 4`` does what it
+    reads like.
+    """
+    defaults = FleetPolicy()
+    retries = getattr(args, "retries", None)
+    max_failures = getattr(args, "max_failures", None)
+    workers = args.workers
+    if workers is None:
+        workers = getattr(args, "jobs", None) or defaults.workers
+    lease_timeout = args.lease_timeout
+    if lease_timeout is None:
+        lease_timeout = getattr(args, "cell_timeout", None) or defaults.lease_timeout
+    return FleetPolicy(
+        workers=workers,
+        lease_timeout=lease_timeout,
+        max_attempts=1 + retries if retries is not None else defaults.max_attempts,
+        max_failures=max_failures if max_failures is not None else defaults.max_failures,
     )
 
 
@@ -570,9 +711,20 @@ def _cmd_run(args, spec) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.backend == "fleet" and args.no_cache:
+        print(
+            "error: --backend fleet needs the cache (its work queue lives in "
+            "the run directory); drop --no-cache",
+            file=sys.stderr,
+        )
+        return 2
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     runner = ExperimentRunner(
-        cache_dir=cache_dir, jobs=args.jobs, supervision=_supervision_from_args(args)
+        cache_dir=cache_dir,
+        jobs=args.jobs,
+        supervision=_supervision_from_args(args),
+        backend=args.backend,
+        fleet=_fleet_policy_from_args(args) if args.backend == "fleet" else None,
     )
     try:
         result = runner.run(spec, force=args.force)
@@ -583,6 +735,9 @@ def _cmd_run(args, spec) -> int:
             "resumes from them",
             file=sys.stderr,
         )
+        return 1
+    except CampaignInterrupted as error:
+        print(f"interrupted: {error}", file=sys.stderr)
         return 1
     if args.json:
         print(result.to_json())
@@ -661,9 +816,20 @@ def _cmd_sweep(args, base: ScenarioSpec) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.backend == "fleet" and args.no_cache:
+        print(
+            "error: --backend fleet needs the cache (its work queue lives in "
+            "the run directory); drop --no-cache",
+            file=sys.stderr,
+        )
+        return 2
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     runner = ExperimentRunner(
-        cache_dir=cache_dir, jobs=args.jobs, supervision=_supervision_from_args(args)
+        cache_dir=cache_dir,
+        jobs=args.jobs,
+        supervision=_supervision_from_args(args),
+        backend=args.backend,
+        fleet=_fleet_policy_from_args(args) if args.backend == "fleet" else None,
     )
     try:
         results = [runner.run(spec, force=args.force) for spec in specs]
@@ -674,6 +840,9 @@ def _cmd_sweep(args, base: ScenarioSpec) -> int:
             "resumes from them",
             file=sys.stderr,
         )
+        return 1
+    except CampaignInterrupted as error:
+        print(f"interrupted: {error}", file=sys.stderr)
         return 1
     if args.json:
         if len(results) == 1:
@@ -853,6 +1022,139 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _print_campaign_status(status: dict) -> None:
+    print(
+        f"campaign at {status['entry']}: {status['done']}/{status['units']} "
+        f"unit(s) done, {status['failed']} failed, {status['leased']} leased, "
+        f"{status['pending']} pending"
+    )
+
+
+def _cmd_fleet(args, spec) -> int:
+    """The async campaign verbs; see the module docstring's exit-code notes."""
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.fleet_command == "submit":
+        status = submit_campaign(
+            cache, spec, _fleet_policy_from_args(args), force=args.force
+        )
+        if status.get("complete"):
+            print(
+                f"scenario {spec.name} [{spec.hash()}] is already complete in "
+                f"the cache at {status['entry']}; nothing to enqueue "
+                "(use --force to recompute)"
+            )
+            return 0
+        _print_campaign_status(status)
+        print(
+            "drain it with `python -m repro.experiments fleet work "
+            f"{args.scenario}` (repeatable, any host sharing the cache dir)"
+        )
+        return 0
+    if args.fleet_command == "work":
+        runner = ExperimentRunner(
+            cache_dir=cache.directory,
+            backend="fleet",
+            fleet=_fleet_policy_from_args(args),
+        )
+        try:
+            result = runner.run(spec, force=args.force)
+        except FailureBudgetExceeded as error:
+            print(f"error: {error}", file=sys.stderr)
+            print(
+                "aborted: committed units remain merged in the partial "
+                "manifest; `fleet work` again to resume",
+                file=sys.stderr,
+            )
+            return 1
+        except CampaignInterrupted as error:
+            print(f"interrupted: {error}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(result.to_json())
+        else:
+            _print_run_outcome(spec, result, runner, cache.directory)
+        return 3 if result.failures else 0
+    if args.fleet_command == "status":
+        status = campaign_status(cache, spec)
+        if status is None:
+            if cache.load(spec) is not None:
+                print(
+                    f"scenario {spec.name} [{spec.hash()}] is complete in the "
+                    f"cache at {cache.path(spec)} (no campaign queue)"
+                )
+                return 0
+            print(
+                f"error: no fleet campaign for scenario {spec.name!r} "
+                f"[{spec.hash()}] in {cache.directory}",
+                file=sys.stderr,
+            )
+            return 1
+        _print_campaign_status(status)
+        live = [w for w in status["workers"] if w.get("state") != "exited"]
+        print(f"{len(live)} worker(s) with heartbeat files (see `fleet workers`)")
+        return 0 if status["settled"] else 4
+    if args.fleet_command == "fetch":
+        try:
+            state, result = fetch_campaign(cache, spec)
+        except FileNotFoundError:
+            cached = cache.load(spec)
+            if cached is not None:
+                if args.json:
+                    print(cached.to_json())
+                else:
+                    print(
+                        f"scenario {spec.name} [{spec.hash()}]: "
+                        f"{len(cached.rows)} cells (cache; no campaign queue)"
+                    )
+                return 0
+            print(
+                f"error: no fleet campaign for scenario {spec.name!r} "
+                f"[{spec.hash()}] in {cache.directory}",
+                file=sys.stderr,
+            )
+            return 1
+        if state == "in-progress":
+            print(
+                "campaign in progress: committed units merged into a "
+                "resumable partial manifest; fetch again once settled"
+            )
+            return 4
+        if args.json:
+            print(result.to_json())
+        else:
+            print(
+                f"scenario {spec.name} [{spec.hash()}]: {len(result.rows)} "
+                f"cells merged from the campaign at {cache.path(spec)}"
+            )
+            _print_failures(result)
+        return 3 if result.failures else 0
+    # workers
+    status = campaign_status(cache, spec)
+    if status is None:
+        print(
+            f"error: no fleet campaign for scenario {spec.name!r} "
+            f"[{spec.hash()}] in {cache.directory}",
+            file=sys.stderr,
+        )
+        return 1
+    if not status["workers"]:
+        print("no worker heartbeat files")
+        return 0
+    rows = [
+        (
+            worker.get("owner", "-"),
+            worker.get("host", "-"),
+            worker.get("pid", "-"),
+            worker.get("state", "-"),
+            worker.get("unit") or "-",
+            f"{worker.get('age_seconds', 0.0):.1f}s",
+        )
+        for worker in status["workers"]
+    ]
+    print(format_table(["owner", "host", "pid", "state", "unit", "last beat"], rows))
+    return 0
+
+
 def _cmd_validate(args) -> int:
     failures = 0
     for path in args.packs:
@@ -896,4 +1198,6 @@ def main(argv=None) -> int:
         return _cmd_sweep(args, spec)
     if args.command == "export":
         return _cmd_export(args, spec)
+    if args.command == "fleet":
+        return _cmd_fleet(args, spec)
     return _cmd_run(args, spec)

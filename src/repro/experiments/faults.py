@@ -15,6 +15,20 @@ Grammar: ``;``-separated directives, each ``kind:pattern[:max_attempts]``.
     scipy call; the supervisor's per-cell timeout reaps it), ``error`` —
     the worker raises ``InjectedFault``, ``corrupt`` — the worker returns a
     structurally broken payload the parent must reject.
+
+    Three further kinds target the distributed fleet backend
+    (:mod:`repro.experiments.fleet`): ``worker-kill`` — the claiming worker
+    SIGKILLs its own process (simulates an OOM-killed or power-cycled host;
+    the supervisor reaps the orphaned lease), ``lease-stall`` — the worker
+    stops heartbeating while holding its lease (simulates a hung host; the
+    lease expires, another worker re-claims the unit, and the stalled
+    worker, now fenced, must abandon the unit without committing),
+    ``double-claim`` — the worker deliberately ignores an existing lease
+    and executes the unit anyway (the exactly-once commit marker must make
+    one of the two writers discard its result).  Each execution context
+    only honours the kinds it understands (see :func:`matching_directive`'s
+    ``kinds`` filter), so a fleet spec is inert under the pool runner and
+    vice versa.
 ``pattern``
     matched as a substring of the cell key
     (``scenario/solver_label/params/repN``); ``*`` matches every cell.
@@ -37,6 +51,8 @@ from dataclasses import dataclass
 __all__ = [
     "FAULT_ENV",
     "FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
+    "POOL_FAULT_KINDS",
     "FaultDirective",
     "InjectedFault",
     "active_directives",
@@ -47,7 +63,27 @@ __all__ = [
 #: Environment variable holding the fault-injection spec.
 FAULT_ENV = "REPRO_FAULT_INJECT"
 
-FAULT_KINDS = ("crash", "hang", "error", "corrupt")
+FAULT_KINDS = (
+    "crash",
+    "hang",
+    "error",
+    "corrupt",
+    "worker-kill",
+    "lease-stall",
+    "double-claim",
+)
+
+#: Kinds the per-cell supervision envelope (pool backend) interprets.
+POOL_FAULT_KINDS = frozenset({"crash", "hang", "error", "corrupt"})
+
+#: Kinds the distributed fleet workers interpret.  ``hang`` and ``corrupt``
+#: are pool-only: a fleet worker heartbeats through a hung solve (so the
+#: lease never expires — ``lease-stall`` is the fleet-shaped hang), and its
+#: commit path validates records locally rather than shipping them over a
+#: pipe.
+FLEET_FAULT_KINDS = frozenset(
+    {"crash", "error", "worker-kill", "lease-stall", "double-claim"}
+)
 
 
 class InjectedFault(RuntimeError):
@@ -113,10 +149,21 @@ def active_directives() -> tuple[FaultDirective, ...]:
 
 
 def matching_directive(
-    directives: tuple[FaultDirective, ...], cell_key: str, attempt: int
+    directives: tuple[FaultDirective, ...],
+    cell_key: str,
+    attempt: int,
+    kinds: "frozenset[str] | None" = None,
 ) -> FaultDirective | None:
-    """First directive that fires for the cell at this attempt, if any."""
+    """First directive that fires for the cell at this attempt, if any.
+
+    ``kinds`` restricts the match to the fault kinds the calling execution
+    context knows how to perform — a ``worker-kill`` directive must not be
+    swallowed (and silently ignored) by a pool worker, nor a ``hang`` by a
+    fleet worker.
+    """
     for directive in directives:
+        if kinds is not None and directive.kind not in kinds:
+            continue
         if directive.matches(cell_key, attempt):
             return directive
     return None

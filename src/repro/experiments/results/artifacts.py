@@ -360,7 +360,10 @@ def write_artifact(obj: Any, directory: Path, stem: str) -> ArtifactRef:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{stem}{codec.extension}"
-    tmp = path.with_name(path.name + ".tmp")
+    # Per-pid temp name: two fleet workers double-claiming one cell write the
+    # same (deterministic) bytes to the same final path, but must not
+    # interleave writes inside a single shared temp file.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     tmp.write_bytes(data)
     os.replace(tmp, path)
     return ArtifactRef(

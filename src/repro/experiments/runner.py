@@ -46,6 +46,16 @@ eventual success bit-identical to a run that never failed.
 decoded artifact objects in memory; with a cache configured, artifacts are
 always persisted and cache-served rows carry lazy refs, so
 ``ExperimentResult.testbed_runs_by_mix`` and friends work either way.
+
+Execution backends are **pluggable**: the default ``"pool"`` backend fans
+out over supervisor-owned worker processes as described above, while
+``backend="fleet"`` routes the same load/resume/finalize contract through
+the crash-tolerant distributed work queue of :mod:`repro.experiments.fleet`
+— leased stateless workers sharing the run directory, safe against SIGKILL
+of workers *and* supervisor.  The fleet backend requires a cache directory
+(the queue lives inside the run directory) and produces manifests whose
+:func:`~repro.experiments.cache.manifest_fingerprint` is identical to a
+serial pool run's.
 """
 
 from __future__ import annotations
@@ -72,9 +82,12 @@ from repro.experiments.supervision import (
     run_supervised,
 )
 
-__all__ = ["ExperimentRunner", "FailureBudgetExceeded", "run_scenario"]
+__all__ = ["EXECUTION_BACKENDS", "ExperimentRunner", "FailureBudgetExceeded", "run_scenario"]
 
 _MAX_DEFAULT_JOBS = 8
+
+#: Pluggable execution backends of :class:`ExperimentRunner`.
+EXECUTION_BACKENDS = ("pool", "fleet")
 
 
 def _execute_payload(payload) -> list[tuple[str, CellResult]]:
@@ -119,6 +132,16 @@ class ExperimentRunner:
         :class:`SupervisionPolicy` for parallel runs and leaves serial runs
         unsupervised (exceptions propagate) unless ``REPRO_FAULT_INJECT``
         is set.
+    backend:
+        ``"pool"`` (default) — supervisor-owned worker processes;
+        ``"fleet"`` — the distributed work-queue backend of
+        :mod:`repro.experiments.fleet` (requires ``cache_dir``; the queue
+        lives inside the run directory).  Retries and the failure budget of
+        ``supervision`` carry over; the per-cell timeout maps onto the
+        fleet's lease timeout.
+    fleet:
+        Full :class:`~repro.experiments.fleet.FleetPolicy` for the fleet
+        backend; ``None`` derives one from ``jobs`` and ``supervision``.
     """
 
     def __init__(
@@ -127,13 +150,26 @@ class ExperimentRunner:
         jobs: int | None = None,
         keep_artifacts: bool = False,
         supervision: SupervisionPolicy | None = None,
+        backend: str = "pool",
+        fleet=None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {EXECUTION_BACKENDS}"
+            )
+        if backend == "fleet" and cache_dir is None:
+            raise ValueError(
+                "the fleet backend needs a cache directory: its work queue "
+                "lives inside the run directory"
+            )
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.jobs = jobs
         self.keep_artifacts = keep_artifacts
         self.supervision = supervision
+        self.backend = backend
+        self.fleet = fleet
 
     def run(self, spec: ScenarioSpec, force: bool = False) -> ExperimentResult:
         """Run (or load, or resume) the scenario; ``force=True`` recomputes.
@@ -144,6 +180,8 @@ class ExperimentRunner:
         failure records persisted, so a later run resumes instead of
         starting over.
         """
+        if self.backend == "fleet":
+            return self._run_fleet(spec, force)
         use_cache = self.cache is not None
         if use_cache and not force:
             cached = self.cache.load(spec)
@@ -226,6 +264,26 @@ class ExperimentRunner:
         return result
 
     # ------------------------------------------------------------------
+    def _run_fleet(self, spec: ScenarioSpec, force: bool) -> ExperimentResult:
+        # Imported lazily: fleet pulls in this module's solver imports via
+        # its own path, and most runs never need the distributed machinery.
+        from repro.experiments.fleet import FleetPolicy, run_fleet_campaign
+
+        policy = self.fleet
+        if policy is None:
+            supervision = self.supervision or SupervisionPolicy()
+            defaults = FleetPolicy()
+            policy = FleetPolicy(
+                workers=self.jobs or defaults.workers,
+                lease_timeout=supervision.cell_timeout or defaults.lease_timeout,
+                max_attempts=1 + supervision.retries,
+                max_failures=supervision.max_failures,
+                backoff_base=supervision.backoff_base,
+                backoff_cap=supervision.backoff_cap,
+            )
+        return run_fleet_campaign(self.cache, spec, policy, force=force)
+
+    # ------------------------------------------------------------------
     def _stream(
         self, spec: ScenarioSpec, cells: list[Cell]
     ) -> Iterator[tuple[str, Any]]:
@@ -303,6 +361,7 @@ def run_scenario(
     keep_artifacts: bool = False,
     force: bool = False,
     supervision: SupervisionPolicy | None = None,
+    backend: str = "pool",
 ) -> ExperimentResult:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
     runner = ExperimentRunner(
@@ -310,5 +369,6 @@ def run_scenario(
         jobs=jobs,
         keep_artifacts=keep_artifacts,
         supervision=supervision,
+        backend=backend,
     )
     return runner.run(spec, force=force)

@@ -37,6 +37,7 @@ from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Iterator
 
 from repro.experiments.faults import (
+    POOL_FAULT_KINDS,
     InjectedFault,
     active_directives,
     matching_directive,
@@ -121,7 +122,9 @@ def _child_main(conn, execute, payload, keys, attempt) -> None:
     """Worker entry point: apply fault injection, execute, ship the rows."""
     directive = None
     for key in keys:
-        directive = matching_directive(active_directives(), key, attempt)
+        directive = matching_directive(
+            active_directives(), key, attempt, kinds=POOL_FAULT_KINDS
+        )
         if directive is not None:
             break
     try:
