@@ -21,7 +21,11 @@ from repro.core.dispersion import (
     dispersion_profile,
 )
 from repro.core.percentiles import estimate_p95_service_time, estimate_service_percentile
-from repro.core.map_fitting import FittedServiceProcess, fit_map2_from_measurements
+from repro.core.map_fitting import (
+    FittedServiceProcess,
+    MapFitError,
+    fit_map2_from_measurements,
+)
 from repro.core.model_builder import (
     ServerMeasurement,
     ServerModel,
@@ -37,6 +41,7 @@ __all__ = [
     "estimate_p95_service_time",
     "estimate_service_percentile",
     "FittedServiceProcess",
+    "MapFitError",
     "fit_map2_from_measurements",
     "ServerMeasurement",
     "ServerModel",

@@ -31,7 +31,66 @@ import numpy as np
 from repro.maps.map2 import map2_exponential, map2_from_moments_and_decay
 from repro.maps.map_process import MAP
 
-__all__ = ["FittedServiceProcess", "fit_map2_from_measurements", "candidate_grid"]
+__all__ = [
+    "FittedServiceProcess",
+    "MapFitError",
+    "fit_map2_from_measurements",
+    "candidate_grid",
+]
+
+
+class MapFitError(RuntimeError):
+    """No feasible MAP(2) candidate could be constructed for a target triple.
+
+    Subclasses :class:`RuntimeError` for backward compatibility (callers that
+    caught the historical bare ``RuntimeError`` keep working) but carries the
+    fitting targets and nearest-feasible diagnostics so supervised callers —
+    e.g. the live service's degradation path — can log *why* a refit failed
+    instead of a bare one-liner.
+
+    Attributes
+    ----------
+    target_mean, target_dispersion, target_p95:
+        The measured ``(mean, I, p95)`` triple the fit was asked to match
+        (``target_p95`` may be ``None``).
+    candidates_considered:
+        How many grid candidates were attempted before giving up.
+    nearest:
+        Diagnostics of the constructible candidate whose index of dispersion
+        came closest to the target — ``{"achieved_dispersion", "scv",
+        "decay", "relative_error"}`` — or ``None`` when not a single grid
+        candidate was constructible.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        target_mean: float,
+        target_dispersion: float,
+        target_p95: float | None = None,
+        candidates_considered: int = 0,
+        nearest: dict | None = None,
+    ) -> None:
+        details = (
+            f"{message} (targets: mean={target_mean:g}, "
+            f"I={target_dispersion:g}, p95="
+            f"{'none' if target_p95 is None else format(target_p95, 'g')}; "
+            f"{candidates_considered} candidate(s) considered"
+        )
+        if nearest is not None:
+            details += (
+                f"; nearest feasible: I={nearest.get('achieved_dispersion'):g} "
+                f"at scv={nearest.get('scv'):g}, decay={nearest.get('decay'):g}, "
+                f"relative error {nearest.get('relative_error'):.1%}"
+            )
+        details += ")"
+        super().__init__(details)
+        self.target_mean = target_mean
+        self.target_dispersion = target_dispersion
+        self.target_p95 = target_p95
+        self.candidates_considered = candidates_considered
+        self.nearest = dict(nearest) if nearest is not None else None
 
 
 @dataclass(frozen=True)
@@ -206,7 +265,14 @@ def fit_map2_from_measurements(
                 best_error = relative_error
                 best = (achieved_i, scv, decay, relative_error, p1, candidate)
         if best is None:
-            raise RuntimeError("no feasible MAP(2) candidate could be constructed")
+            raise MapFitError(
+                "no feasible MAP(2) candidate could be constructed",
+                target_mean=mean,
+                target_dispersion=index_of_dispersion,
+                target_p95=p95,
+                candidates_considered=considered,
+                nearest=None,
+            )
         feasible = [best]
 
     def selection_key(entry):

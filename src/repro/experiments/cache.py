@@ -134,6 +134,13 @@ _FINGERPRINT_NEUTRAL_MODULES = frozenset({
     "experiments/supervision.py",
 })
 
+#: Package prefixes that are fingerprint-neutral wholesale.  The live
+#: what-if service (:mod:`repro.service`) is an execution harness around
+#: the core pipeline — it decides *when* to refit and *what to serve on
+#: failure*, never how a cell value is computed — so editing the daemon
+#: must not invalidate experiment caches.
+_FINGERPRINT_NEUTRAL_PREFIXES = ("service/",)
+
 
 @lru_cache(maxsize=1)
 def source_fingerprint() -> str:
@@ -154,6 +161,8 @@ def source_fingerprint() -> str:
     for path in sorted(root.rglob("*.py")):
         relative = path.relative_to(root).as_posix()
         if relative in _FINGERPRINT_NEUTRAL_MODULES:
+            continue
+        if relative.startswith(_FINGERPRINT_NEUTRAL_PREFIXES):
             continue
         digest.update(relative.encode("utf-8"))
         digest.update(path.read_bytes())

@@ -31,6 +31,10 @@
     python -m repro.experiments fleet status fig4 [--cache-dir DIR]
     python -m repro.experiments fleet fetch fig4 [--json] [--cache-dir DIR]
     python -m repro.experiments fleet workers fig4 [--cache-dir DIR]
+    python -m repro.experiments service run service.json [--cycles N]
+                                         [--state-dir DIR] [--reset] [--json]
+    python -m repro.experiments service status service.json [--json] [...]
+    python -m repro.experiments service forecast service.json [--json] [...]
 
 ``show``, ``run`` and ``export`` accept either a registered scenario name or
 a path to a *scenario pack* — a JSON spec file (anything containing a path
@@ -96,6 +100,16 @@ supervisor.  ``status`` and ``fetch`` **extend the exit-code contract**
 with ``4`` — the campaign exists but has unsettled units (in progress);
 they exit ``1`` when no campaign (and no complete cached run) exists,
 ``0``/``3`` once results are merged, exactly like ``run``.
+
+``service`` operates the **self-healing live what-if service**
+(:mod:`repro.service`): ``run`` drives the ingest → fit → solve daemon
+over streaming trace files (SIGTERM/SIGINT drain to a bit-identical
+resumable checkpoint) and exits with the final health status, ``status``
+reads the atomic health snapshot, and ``forecast`` prints the served
+what-if table.  The health statuses map onto the same contract — ``0``
+healthy / fresh, ``3`` degraded / serving a stale last-known-good
+forecast, ``4`` stalled (no trace progress, mirroring fleet's
+"in progress"), ``1`` nothing to report yet, ``2`` usage errors.
 """
 
 from __future__ import annotations
@@ -485,6 +499,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet_fetch.add_argument(
         "--json", action="store_true", help="print the raw result JSON"
+    )
+
+    service = commands.add_parser(
+        "service",
+        help="self-healing live what-if service over streaming traces",
+    )
+    service_commands = service.add_subparsers(dest="service_command", required=True)
+    service_run = service_commands.add_parser(
+        "run",
+        help="run the ingest→fit→solve daemon; SIGTERM/SIGINT drain with a "
+        "resumable checkpoint; exits with the final health status "
+        "(0 healthy, 3 degraded, 4 stalled)",
+    )
+    service_status = service_commands.add_parser(
+        "status",
+        help="print the service health snapshot; exits 0 healthy, 3 "
+        "degraded, 4 stalled, 1 when no snapshot exists",
+    )
+    service_forecast = service_commands.add_parser(
+        "forecast",
+        help="print the served what-if forecast; exits 0 fresh, 3 stale "
+        "(last-known-good), 1 when nothing has been promoted yet",
+    )
+    for command in (service_run, service_status, service_forecast):
+        command.add_argument("config", help="path to a service config .json file")
+        command.add_argument(
+            "--state-dir",
+            default=None,
+            help="service state directory (default: "
+            "<cache-dir>/service-<name> beside the experiment cache)",
+        )
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache directory anchoring the default state dir "
+            "(default: $REPRO_EXPERIMENTS_CACHE or ./.experiments-cache)",
+        )
+        command.add_argument(
+            "--json", action="store_true", help="print the raw JSON payload"
+        )
+    service_run.add_argument(
+        "--cycles",
+        type=_positive_int,
+        default=None,
+        help="stop after this many cycles (default: run until drained)",
+    )
+    service_run.add_argument(
+        "--reset",
+        action="store_true",
+        help="discard the existing checkpoint, registry and health snapshot "
+        "(required to run a changed config over old state)",
     )
     return parser
 
@@ -1155,6 +1220,159 @@ def _cmd_fleet(args, spec) -> int:
     return 0
 
 
+_SERVICE_STATUS_EXIT = {"healthy": 0, "degraded": 3, "stalled": 4}
+
+
+def _service_state_dir(args, config):
+    from pathlib import Path
+
+    if args.state_dir is not None:
+        return Path(args.state_dir)
+    return Path(args.cache_dir or default_cache_dir()) / f"service-{config.name}"
+
+
+def _cmd_service(args) -> int:
+    """The live what-if service verbs (see :mod:`repro.service`).
+
+    Exit codes extend the experiment contract: ``run`` and ``status`` map
+    the health status (``0`` healthy, ``3`` degraded, ``4`` stalled; ``1``
+    when ``status`` finds no snapshot), ``forecast`` exits ``0`` for a
+    fresh forecast, ``3`` for a stale last-known-good one and ``1`` when
+    nothing has been promoted yet; ``2`` stays usage errors.
+    """
+    import json as json_module
+    import signal
+
+    from repro.service import CheckpointMismatchError, ServiceConfig, WhatIfService
+
+    try:
+        config = ServiceConfig.from_json(args.config)
+    except (ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    state_dir = _service_state_dir(args, config)
+
+    if args.service_command == "run":
+        try:
+            service = WhatIfService.open(
+                config, state_dir, reset=getattr(args, "reset", False)
+            )
+        except CheckpointMismatchError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+        def _drain(signum, frame):  # noqa: ARG001 - signal handler signature
+            service.drain_requested = True
+
+        previous = {
+            sig: signal.signal(sig, _drain) for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            status = service.run(cycles=args.cycles)
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        payload = service.health_payload(heartbeat_unix=0.0)
+        if args.json:
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+        else:
+            drained = " (drained)" if service.drain_requested else ""
+            print(
+                f"service {config.name}: {status}{drained} after cycle "
+                f"{service.cycle}; serving {service.serving}, "
+                f"{service.events_total} events, "
+                f"{service.complete_windows} complete windows, "
+                f"staleness {service.staleness_windows}"
+            )
+        return _SERVICE_STATUS_EXIT[status]
+
+    health_path = state_dir / "health.json"
+    if args.service_command == "status":
+        try:
+            payload = json_module.loads(health_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            print(
+                f"error: no health snapshot at {health_path} "
+                "(service never ran here?)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(
+                f"service {config.name}: {payload['status']} at cycle "
+                f"{payload['cycle']}; serving {payload['serving']}, "
+                f"staleness {payload['staleness_windows']}, "
+                f"{payload['dropped_windows']} dropped window target(s)"
+            )
+            rows = [
+                (
+                    stage,
+                    stats["breaker"],
+                    stats["ok"],
+                    stats["failed"],
+                    stats["retried"],
+                    stats["breaker_opens"],
+                    (stats.get("last_error") or "-")[:60],
+                )
+                for stage, stats in payload["stages"].items()
+            ]
+            print(
+                format_table(
+                    ["stage", "breaker", "ok", "failed", "retried", "opens", "last error"],
+                    rows,
+                )
+            )
+        return _SERVICE_STATUS_EXIT.get(payload.get("status"), 1)
+
+    # forecast
+    from repro.service import ModelRegistry
+
+    good = ModelRegistry(state_dir).load()
+    if good is None:
+        print(
+            f"error: nothing promoted yet in {state_dir} (no last-known-good "
+            "forecast)",
+            file=sys.stderr,
+        )
+        return 1
+    stale = False
+    try:
+        health = json_module.loads(health_path.read_text(encoding="utf-8"))
+        stale = health.get("serving") == "last-known-good"
+    except (OSError, ValueError):
+        pass
+    if args.json:
+        payload = dict(good.forecast)
+        payload["stale"] = stale
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        freshness = "stale (last-known-good)" if stale else "fresh"
+        print(
+            f"service {config.name}: {freshness} forecast from cycle "
+            f"{good.cycle}, windows "
+            f"[{good.forecast['window_start']}, {good.window_end})"
+        )
+        rows = [
+            (
+                row["population"],
+                f"{row['throughput']:.4f}",
+                f"{row['response_time']:.4f}",
+                f"{row['front_utilization']:.4f}",
+                f"{row['db_utilization']:.4f}",
+            )
+            for row in good.forecast["rows"]
+        ]
+        print(
+            format_table(
+                ["population", "throughput", "response time", "front util", "db util"],
+                rows,
+            )
+        )
+    return 3 if stale else 0
+
+
 def _cmd_validate(args) -> int:
     failures = 0
     for path in args.packs:
@@ -1183,6 +1401,8 @@ def main(argv=None) -> int:
         return _cmd_cache(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "service":
+        return _cmd_service(args)
     try:
         spec = _resolve_scenario(args.scenario)
     except KeyError as error:

@@ -25,10 +25,24 @@ Grammar: ``;``-separated directives, each ``kind:pattern[:max_attempts]``.
     worker, now fenced, must abandon the unit without committing),
     ``double-claim`` — the worker deliberately ignores an existing lease
     and executes the unit anyway (the exactly-once commit marker must make
-    one of the two writers discard its result).  Each execution context
-    only honours the kinds it understands (see :func:`matching_directive`'s
-    ``kinds`` filter), so a fleet spec is inert under the pool runner and
-    vice versa.
+    one of the two writers discard its result).
+
+    Three further kinds target the live what-if service
+    (:mod:`repro.service`): ``fit-diverge`` — the fit stage raises a typed
+    :class:`repro.core.map_fitting.MapFitError` (simulates a pathological
+    estimation window no MAP(2) candidate can match), ``solve-crash`` — the
+    solve stage's worker dies via ``os._exit`` (simulates an OOM-killed
+    solver), ``ingest-stall`` — the ingest stage sleeps forever (simulates a
+    stalled trace source; the stage timeout reaps it).  For service kinds
+    the *attempt* number is the stage's lifetime invocation counter (it
+    persists across service restarts via the checkpoint), so
+    ``fit-diverge:*:2`` means "the first two refits ever attempted diverge,
+    later ones succeed" — the shape the degradation/recovery smoke relies
+    on.
+
+    Each execution context only honours the kinds it understands (see
+    :func:`matching_directive`'s ``kinds`` filter), so a fleet or service
+    spec is inert under the pool runner and vice versa.
 ``pattern``
     matched as a substring of the cell key
     (``scenario/solver_label/params/repN``); ``*`` matches every cell.
@@ -53,6 +67,7 @@ __all__ = [
     "FAULT_KINDS",
     "FLEET_FAULT_KINDS",
     "POOL_FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
     "FaultDirective",
     "InjectedFault",
     "active_directives",
@@ -71,6 +86,9 @@ FAULT_KINDS = (
     "worker-kill",
     "lease-stall",
     "double-claim",
+    "fit-diverge",
+    "solve-crash",
+    "ingest-stall",
 )
 
 #: Kinds the per-cell supervision envelope (pool backend) interprets.
@@ -84,6 +102,12 @@ POOL_FAULT_KINDS = frozenset({"crash", "hang", "error", "corrupt"})
 FLEET_FAULT_KINDS = frozenset(
     {"crash", "error", "worker-kill", "lease-stall", "double-claim"}
 )
+
+#: Kinds the live what-if service stages interpret (see :mod:`repro.service`).
+#: Each stage additionally narrows to the kinds that make sense for it —
+#: ``fit-diverge`` only fires inside the fit stage, ``solve-crash`` inside
+#: the solve stage, ``ingest-stall`` inside the ingest stage.
+SERVICE_FAULT_KINDS = frozenset({"fit-diverge", "solve-crash", "ingest-stall"})
 
 
 class InjectedFault(RuntimeError):

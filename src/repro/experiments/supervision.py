@@ -167,6 +167,7 @@ def run_supervised(
     policy: SupervisionPolicy,
     jobs: int,
     context=None,
+    validate_rows: Callable[[Any, SupervisedTask], bool] | None = None,
 ) -> Iterator[tuple[str, Any]]:
     """Execute tasks under supervision; yield events as units settle.
 
@@ -176,7 +177,16 @@ def run_supervised(
     Raises :class:`FailureBudgetExceeded` once permanent failures outnumber
     ``policy.max_failures`` (running workers are killed, completed rows have
     already been yielded).
+
+    ``validate_rows`` decides whether a worker's payload is structurally
+    acceptable (a rejected payload is classified as ``corrupt`` and retried).
+    The default enforces the experiment runner's cell contract — one
+    :class:`CellResult` per task key; other supervised pipelines (the live
+    what-if service stages) pass their own validator instead of duplicating
+    the envelope.
     """
+    if validate_rows is None:
+        validate_rows = _rows_valid
     if context is None:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else None)
@@ -278,7 +288,7 @@ def run_supervised(
                         isinstance(message, tuple)
                         and len(message) == 2
                         and message[0] == "rows"
-                        and _rows_valid(message[1], entry.task)
+                        and validate_rows(message[1], entry.task)
                     ):
                         event = ("rows", message[1])
                     elif isinstance(message, tuple) and len(message) == 2 and message[0] == "error":

@@ -40,23 +40,48 @@ class MonitoringSeries:
 
     @property
     def mean_utilization(self) -> float:
-        """Average utilisation over the monitoring horizon."""
-        return float(self.utilization.mean()) if self.utilization.size else 0.0
+        """Average utilisation over the monitoring horizon.
+
+        Raises :class:`ValueError` on an empty series: a silent ``0.0`` (the
+        historical behaviour) reads as "the server was idle" when it really
+        means "nothing was monitored", which poisons a live estimator window.
+        """
+        if self.utilization.size == 0:
+            raise ValueError(
+                f"monitor {self.name!r} holds no utilization windows; "
+                "snapshot a positive horizon before reading mean_utilization"
+            )
+        return float(self.utilization.mean())
 
     @property
     def throughput(self) -> float:
-        """Average completion rate (requests per second)."""
+        """Average completion rate (requests per second).
+
+        Raises :class:`ValueError` on an empty series instead of reporting a
+        throughput of zero for a horizon that was never observed.
+        """
         if self.completions.size == 0:
-            return 0.0
+            raise ValueError(
+                f"monitor {self.name!r} holds no completion windows; "
+                "snapshot a positive horizon before reading throughput"
+            )
         return float(self.completions.sum() / (self.completions.size * self.completion_window))
 
     @property
     def mean_service_time(self) -> float:
-        """Utilisation-law estimate of the mean service time."""
+        """Utilisation-law estimate of the mean service time.
+
+        Raises :class:`ValueError` when no completions were recorded — the
+        historical ``NaN`` return silently propagated through model fitting
+        and produced NaN forecasts instead of an actionable error.
+        """
         total_busy = float(self.utilization.sum()) * self.utilization_window
         total_completed = float(self.completions.sum())
         if total_completed <= 0:
-            return float("nan")
+            raise ValueError(
+                f"monitor {self.name!r} recorded no completions; the "
+                "utilisation-law mean service time is undefined"
+            )
         return total_busy / total_completed
 
     def completion_utilization(self) -> np.ndarray:
@@ -112,7 +137,18 @@ class ServerMonitor:
         self._completions.record(time, count)
 
     def series(self, horizon: float) -> MonitoringSeries:
-        """Snapshot the collected data over ``[0, horizon)``."""
+        """Snapshot the collected data over ``[0, horizon)``.
+
+        ``horizon`` must be positive and finite: a zero, negative or
+        non-finite horizon would produce empty (or nonsensical) series whose
+        derived statistics divide by zero downstream.
+        """
+        horizon = float(horizon)
+        if not np.isfinite(horizon) or horizon <= 0:
+            raise ValueError(
+                f"monitoring horizon must be a positive finite number of "
+                f"seconds, got {horizon!r}"
+            )
         utilization = np.clip(self._busy.series(horizon, normalize=True), 0.0, 1.0)
         queue_length = self._queue.series(horizon, normalize=True)
         completions = self._completions.series(horizon)

@@ -1,0 +1,140 @@
+"""Last-known-good model registry: crash-safe promotion, warm restarts.
+
+The live service must never stop serving forecasts because the *latest*
+refit failed — it degrades to the last model that both fitted and solved.
+This module persists that model (and the forecast computed from it) through
+the experiment framework's artifact layer: each promotion writes two
+digest-checked JSON side-files (:func:`...results.write_artifact`, atomic
+temp-file + ``os.replace``) under cycle-suffixed names, then atomically
+swaps ``registry.json`` to point at them.  A crash between the two steps
+leaves the previous registry intact; a corrupt or truncated artifact fails
+its SHA-256 check on load and the service falls back to a cold start rather
+than serving garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.results.artifacts import (
+    ArtifactIntegrityError,
+    ArtifactRef,
+    write_artifact,
+)
+from repro.maps.map_process import MAP
+
+__all__ = ["LastKnownGood", "ModelRegistry", "map_from_payload", "map_to_payload"]
+
+_REGISTRY_NAME = "registry.json"
+
+
+def map_to_payload(process: MAP) -> dict:
+    """JSON-safe encoding of a MAP (exact: floats round-trip via repr)."""
+    return {
+        "D0": [[float(v) for v in row] for row in np.asarray(process.D0)],
+        "D1": [[float(v) for v in row] for row in np.asarray(process.D1)],
+    }
+
+
+def map_from_payload(payload: dict) -> MAP:
+    return MAP(
+        np.asarray(payload["D0"], dtype=float), np.asarray(payload["D1"], dtype=float)
+    )
+
+
+@dataclass(frozen=True)
+class LastKnownGood:
+    """The most recently promoted (model, forecast) pair.
+
+    ``model`` holds the fitted per-tier MAPs plus the measurement triples
+    they were fitted from; ``forecast`` the what-if table solved from that
+    model.  ``window_end`` is the exclusive last estimation window the model
+    covers — staleness is measured from it, in windows, so it is exact and
+    clock-free.
+    """
+
+    cycle: int
+    window_end: int
+    model: dict
+    forecast: dict
+
+    def to_meta(self) -> dict:
+        return {"cycle": self.cycle, "window_end": self.window_end}
+
+
+class ModelRegistry:
+    """Durable last-known-good storage under one state directory."""
+
+    def __init__(self, state_dir) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def registry_path(self) -> Path:
+        return self.state_dir / _REGISTRY_NAME
+
+    # ------------------------------------------------------------------
+    def promote(self, good: LastKnownGood) -> None:
+        """Persist a new last-known-good pair (crash-safe, then prune).
+
+        Ordering is the crash-safety argument: (1) write both artifacts
+        under fresh cycle-suffixed names, (2) atomically replace
+        ``registry.json``, (3) delete artifacts the registry no longer
+        references.  Dying between any two steps leaves a registry whose
+        references all verify.
+        """
+        model_ref = write_artifact(
+            good.model, self.state_dir, f"model-{good.cycle:08d}"
+        )
+        forecast_ref = write_artifact(
+            good.forecast, self.state_dir, f"forecast-{good.cycle:08d}"
+        )
+        payload = {
+            "meta": good.to_meta(),
+            "model": model_ref.to_dict(),
+            "forecast": forecast_ref.to_dict(),
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        tmp = self.registry_path.with_name(
+            f"{_REGISTRY_NAME}.{os.getpid()}.tmp"
+        )
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.registry_path)
+        self._prune(keep={Path(model_ref.path).name, Path(forecast_ref.path).name})
+
+    def _prune(self, keep: set[str]) -> None:
+        for path in self.state_dir.glob("model-*.json"):
+            if path.name not in keep:
+                path.unlink(missing_ok=True)
+        for path in self.state_dir.glob("forecast-*.json"):
+            if path.name not in keep:
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def load(self) -> LastKnownGood | None:
+        """The persisted last-known-good, or ``None`` on a cold start.
+
+        Any corruption — unreadable registry, malformed JSON, artifact
+        failing its digest — degrades to ``None``: the service starts cold
+        and refits rather than serving a forecast it cannot trust.
+        """
+        try:
+            payload = json.loads(self.registry_path.read_text(encoding="utf-8"))
+            meta = payload["meta"]
+            model = ArtifactRef.from_dict(payload["model"], self.state_dir).load()
+            forecast = ArtifactRef.from_dict(
+                payload["forecast"], self.state_dir
+            ).load()
+        except (OSError, ValueError, KeyError, ArtifactIntegrityError):
+            return None
+        return LastKnownGood(
+            cycle=int(meta["cycle"]),
+            window_end=int(meta["window_end"]),
+            model=model,
+            forecast=forecast,
+        )

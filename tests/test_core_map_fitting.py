@@ -91,3 +91,45 @@ class TestValidation:
     def test_rejects_nonpositive_dispersion(self):
         with pytest.raises(ValueError):
             fit_map2_from_measurements(1.0, 0.0)
+
+
+class TestMapFitError:
+    def _infeasible(self):
+        from repro.core.map_fitting import MapFitError
+
+        # A grid holding only sub-exponential SCVs cannot construct a single
+        # hyper-exponential candidate, so not even the closest-achievable
+        # fallback exists.
+        with pytest.raises(MapFitError) as excinfo:
+            fit_map2_from_measurements(
+                1.0,
+                5000.0,
+                p95=2.0,
+                scv_values=(0.1,),
+                decay_values=(0.5,),
+                branch_probabilities=(None,),
+            )
+        return excinfo.value
+
+    def test_raised_instead_of_bare_runtime_error(self):
+        error = self._infeasible()
+        assert isinstance(error, RuntimeError)  # backward compatible
+
+    def test_carries_targets_and_diagnostics(self):
+        error = self._infeasible()
+        assert error.target_mean == 1.0
+        assert error.target_dispersion == 5000.0
+        assert error.target_p95 == 2.0
+        assert error.candidates_considered > 0
+
+    def test_message_names_the_targets(self):
+        error = self._infeasible()
+        message = str(error)
+        assert "I=5000" in message
+        assert "candidate(s) considered" in message
+
+    def test_exported_from_core(self):
+        from repro.core import MapFitError as exported
+        from repro.core.map_fitting import MapFitError
+
+        assert exported is MapFitError

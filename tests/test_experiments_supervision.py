@@ -31,6 +31,9 @@ from repro.experiments import (
 )
 from repro.experiments.cli import main
 from repro.experiments.faults import (
+    FAULT_KINDS,
+    POOL_FAULT_KINDS,
+    SERVICE_FAULT_KINDS,
     FaultDirective,
     active_directives,
     matching_directive,
@@ -290,3 +293,41 @@ class TestCliContract:
         )
         assert code == 1
         assert "failure budget" in capsys.readouterr().err.lower()
+
+
+class TestUnknownFaultKinds:
+    def test_unknown_kind_rejected_with_valid_kinds_listed(self):
+        # A typo like `worker-kil` must fail loudly, naming every valid
+        # kind, instead of producing a directive that silently never fires.
+        with pytest.raises(ValueError) as excinfo:
+            parse_fault_spec("worker-kil:*:1")
+        message = str(excinfo.value)
+        assert "unknown fault kind 'worker-kil'" in message
+        for kind in FAULT_KINDS:
+            assert kind in message
+
+    def test_service_kinds_are_valid(self):
+        directives = parse_fault_spec(
+            "fit-diverge:service/fit:2;solve-crash:*;ingest-stall:service/ingest"
+        )
+        assert [d.kind for d in directives] == [
+            "fit-diverge",
+            "solve-crash",
+            "ingest-stall",
+        ]
+        assert directives[0].max_attempts == 2
+
+    def test_kind_narrowing_keeps_foreign_directives_inert(self):
+        # A service-only spec must never fire inside a pool worker, and
+        # vice versa: each context filters to the kinds it understands.
+        directives = parse_fault_spec("fit-diverge:*;crash:*")
+        assert (
+            matching_directive(directives, "any/cell", 1, kinds=POOL_FAULT_KINDS).kind
+            == "crash"
+        )
+        assert (
+            matching_directive(
+                directives, "service/fit", 1, kinds=SERVICE_FAULT_KINDS
+            ).kind
+            == "fit-diverge"
+        )

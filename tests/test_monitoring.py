@@ -253,3 +253,54 @@ class TestDemandRegression:
             estimate_service_demands([0.5, 0.5], {"a": np.array([1.0])}, 1.0)
         with pytest.raises(ValueError):
             estimate_service_demands([0.5], {"a": np.array([1.0])}, 0.0)
+
+
+class TestEmptySeriesHardening:
+    """Degenerate series raise instead of returning 0.0 / NaN / inf.
+
+    The live service reads these properties from freshly-started monitors;
+    a silent 0.0 ("the server was idle") or NaN ("quietly poison the model
+    fit") for a horizon that was never observed must be an error instead.
+    """
+
+    def _empty_series(self):
+        from repro.monitoring.collector import MonitoringSeries
+
+        return MonitoringSeries(
+            name="empty",
+            utilization_window=1.0,
+            utilization=np.empty(0),
+            completion_window=5.0,
+            completions=np.empty(0),
+            queue_length=np.empty(0),
+        )
+
+    def test_mean_utilization_raises_on_empty(self):
+        with pytest.raises(ValueError, match="no utilization windows"):
+            self._empty_series().mean_utilization
+
+    def test_throughput_raises_on_empty(self):
+        with pytest.raises(ValueError, match="no completion windows"):
+            self._empty_series().throughput
+
+    def test_mean_service_time_raises_without_completions(self):
+        monitor = ServerMonitor("idle", utilization_window=1.0, completion_window=1.0)
+        monitor.record_busy(0.0, 3.0)  # busy but nothing ever completed
+        series = monitor.series(horizon=5.0)
+        with pytest.raises(ValueError, match="no completions"):
+            series.mean_service_time
+
+    def test_series_rejects_nonpositive_horizon(self):
+        monitor = ServerMonitor("m")
+        for horizon in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="horizon"):
+                monitor.series(horizon)
+
+    def test_populated_series_unaffected(self):
+        monitor = ServerMonitor("ok", utilization_window=1.0, completion_window=1.0)
+        monitor.record_busy(0.0, 2.0)
+        monitor.record_completion(1.5)
+        series = monitor.series(horizon=4.0)
+        assert series.mean_utilization == pytest.approx(0.5)
+        assert series.throughput == pytest.approx(0.25)
+        assert series.mean_service_time == pytest.approx(2.0)
